@@ -1,0 +1,13 @@
+"""Fig. 13: reader-to-person distance 1-4 m.
+
+The paper reports no clear correlation between distance and accuracy
+inside the harvest range."""
+
+from repro.eval import run_fig13
+
+
+def test_fig13_distance(run_experiment):
+    result = run_experiment(run_fig13)
+    values = list(result.measured_by_name().values())
+    # Shape check: every distance works (no collapse inside 4 m).
+    assert min(values) > 2.0 / 12.0

@@ -1,0 +1,81 @@
+"""Tag localization with an antenna hub — and why the paper exists.
+
+Two arrays estimate per-array bearings from the dominant MUSIC peak
+and triangulate each tag (the RF-IDraw / Tagoram capability the
+paper's related work builds on).  The demo runs the same pipeline in
+two environments:
+
+* **open space** — bearings are clean, positions resolve to ~decimetres;
+* **the laboratory** — wall/furniture reflections merge into the
+  pseudospectrum, the dominant peak wanders off the geometric truth,
+  and positions degrade to metres.
+
+That contrast *is* the paper's motivation: in real rooms, geometric
+multipath-fighting breaks down, so M2AI feeds the whole (multipath-
+rich) spectrum to a learner instead of extracting a single angle.
+
+Usage::
+
+    python examples/tag_localization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp import PhaseCalibrator, localize_tag
+from repro.geometry import Room, Vec2, make_laboratory, make_open_space
+from repro.hardware import UniformLinearArray, make_tag, stationary_scene
+from repro.hardware.hub import AntennaHub
+
+TRUE_POSITIONS = [(5.0, 3.5), (7.5, 4.5), (4.0, 5.5)]
+
+
+def localization_errors(room: Room, label: str) -> list[float]:
+    hub = AntennaHub(
+        room=room,
+        arrays=(
+            UniformLinearArray(center=Vec2(2.0, 0.3)),
+            UniformLinearArray(center=Vec2(10.5, 0.3)),
+        ),
+        seed=11,
+    )
+    rng = np.random.default_rng(0)
+    scene = stationary_scene(
+        [(make_tag(f"asset-{i}", rng), pos) for i, pos in enumerate(TRUE_POSITIONS)]
+    )
+    calibrators = [PhaseCalibrator.fit(log) for log in hub.calibration_inventory(scene, 20.0)]
+    logs = hub.inventory(scene, 4.0)
+    psis = [cal.calibrate(log) for cal, log in zip(calibrators, logs)]
+
+    print(f"--- {label} ---")
+    print(f"{'tag':10s} {'true (x, y)':>16s} {'estimated':>18s} {'error':>8s}")
+    errors = []
+    for tag_index, true_pos in enumerate(TRUE_POSITIONS):
+        position, bearings = localize_tag(logs, psis, list(hub.arrays), tag_index)
+        error = float(np.linalg.norm(position - np.asarray(true_pos)))
+        errors.append(error)
+        bearing_text = ", ".join(f"{b.angle_deg:.0f}deg" for b in bearings)
+        print(
+            f"asset-{tag_index:<4d} ({true_pos[0]:5.2f}, {true_pos[1]:5.2f})  "
+            f"({position[0]:6.2f}, {position[1]:6.2f})  {error:5.2f} m"
+            f"   bearings: {bearing_text}"
+        )
+    print(f"median error: {np.median(errors):.2f} m\n")
+    return errors
+
+
+def main() -> None:
+    open_errors = localization_errors(make_open_space(), "open space (no multipath)")
+    lab_errors = localization_errors(make_laboratory(), "laboratory (rich multipath)")
+    print(
+        "Multipath inflates the median position error "
+        f"{np.median(lab_errors) / max(np.median(open_errors), 1e-9):.0f}x.\n"
+        "Geometric approaches fight this; M2AI instead hands the whole\n"
+        "pseudospectrum (reflections included) to the CNN+LSTM — the extra\n"
+        "peaks become evidence rather than error."
+    )
+
+
+if __name__ == "__main__":
+    main()

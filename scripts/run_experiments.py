@@ -1,0 +1,85 @@
+"""Run every paper experiment and write EXPERIMENTS.md.
+
+Usage::
+
+    python scripts/run_experiments.py [--full] [--only fig09,fig10] [--seed 0]
+
+Results are appended to EXPERIMENTS.md incrementally, so a partial run
+still leaves a usable record.  Generated corpora are cached on disk
+(``.repro_cache/``) and reused by the pytest benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.eval import ALL_EXPERIMENTS
+
+REPO = Path(__file__).resolve().parents[1]
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Reproduction record for Fan et al., *Multiple Object Activity
+Identification using RFIDs* (ICDCS 2018).  Every entry regenerates one
+paper table/figure on the simulated substrate (see DESIGN.md for the
+substitutions).  Absolute accuracies are not expected to match the
+hardware testbed; the *shape* of each result is what is verified.
+Paper values marked `~` are read off a bar chart, not stated in text.
+
+Regenerate with `python scripts/run_experiments.py` (quick mode) or
+`pytest benchmarks/ --benchmark-only`.  Each block's footer records how
+it was produced: dedicated script runs use the full quick-mode training
+budget; blocks tagged "recorded by the benchmark suite" come from the
+trimmed-budget benchmark pass and are correspondingly noisier.  Small
+held-out splits (12-48 samples) give the accuracies a granularity of
+several points; treat trends, not single cells, as the signal.
+
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale datasets")
+    parser.add_argument("--only", type=str, default="", help="comma-separated ids")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=str(REPO / "EXPERIMENTS.md"))
+    args = parser.parse_args()
+
+    wanted = [x for x in args.only.split(",") if x] or list(ALL_EXPERIMENTS)
+    results: dict[str, str] = {}
+    state_path = REPO / ".repro_cache" / "experiment_state.json"
+    if state_path.exists():
+        results = json.loads(state_path.read_text())
+
+    for exp_id in wanted:
+        if exp_id in results:
+            print(f"[skip] {exp_id} (already recorded)")
+            continue
+        runner = ALL_EXPERIMENTS[exp_id]
+        print(f"[run ] {exp_id} ...", flush=True)
+        t0 = time.time()
+        result = runner(quick=not args.full, seed=args.seed)
+        elapsed = time.time() - t0
+        block = result.render() + f"\n\n(wall-clock: {elapsed:.0f} s, " \
+            f"mode: {'full' if args.full else 'quick'}, seed: {args.seed})\n"
+        results[exp_id] = block
+        print(block, flush=True)
+        state_path.parent.mkdir(exist_ok=True)
+        state_path.write_text(json.dumps(results))
+        _write(Path(args.out), results)
+    print("done.")
+
+
+def _write(out: Path, results: dict[str, str]) -> None:
+    parts = [HEADER]
+    for exp_id in ALL_EXPERIMENTS:
+        if exp_id in results:
+            parts.append("```text\n" + results[exp_id] + "```\n")
+    out.write_text("\n".join(parts))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Tunable constants of the propagation and link-budget model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChannelParams:
+    """Physical parameters of the backscatter channel simulation.
+
+    Attributes:
+        reference_amplitude: one-way field amplitude at 1 m from the
+            transmit antenna (arbitrary linear units; the link budget
+            maps it to dBm via :data:`rssi_ref_dbm`).
+        body_reflectivity: amplitude reflection coefficient of a human
+            torso acting as a scatterer.
+        body_blockage: multiplicative amplitude loss applied to a path
+            leg per human body it crosses (~-11 dB, consistent with
+            measured UHF through-body attenuation).
+        furniture_blockage: amplitude loss per furniture disc crossed.
+        diffuse_level: standard deviation of the zero-mean complex
+            Gaussian diffuse clutter added to every one-way channel
+            gain, relative to ``reference_amplitude``; models the many
+            unresolved weak paths of an indoor room.
+        rssi_ref_dbm: RSSI reported when the round-trip gain equals
+            ``reference_amplitude ** 2`` (sets the dBm scale).
+        harvest_amplitude_threshold: minimum one-way forward amplitude
+            for the tag to harvest enough power to reply; below it the
+            read is dropped (the paper notes tags stop responding
+            beyond ~6 m).
+        noise_floor_dbm: reads whose RSSI falls below this are dropped.
+    """
+
+    reference_amplitude: float = 1.0
+    body_reflectivity: float = 0.30
+    body_blockage: float = 0.28
+    furniture_blockage: float = 0.50
+    diffuse_level: float = 0.012
+    rssi_ref_dbm: float = -48.0
+    harvest_amplitude_threshold: float = 0.02
+    noise_floor_dbm: float = -92.0
+
+    def __post_init__(self) -> None:
+        for name in ("body_reflectivity", "body_blockage", "furniture_blockage"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.reference_amplitude <= 0.0:
+            raise ValueError("reference_amplitude must be positive")
+        if self.diffuse_level < 0.0:
+            raise ValueError("diffuse_level must be non-negative")
+
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, m/s."""

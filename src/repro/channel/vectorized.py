@@ -1,0 +1,119 @@
+"""Vectorised geometry kernels for the propagation inner loop.
+
+The channel model evaluates thousands of (path-leg, blocker, time-step)
+combinations per simulated sample.  These helpers operate on whole time
+axes at once so the simulator stays in numpy.
+
+Shapes follow one convention: a trajectory is an ``(T, 2)`` float array
+of planar positions over ``T`` time steps; a static point may be passed
+as a plain ``(2,)`` array and broadcasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_traj(p: np.ndarray, steps: int) -> np.ndarray:
+    """Broadcast a point or trajectory to shape ``(steps, 2)``.
+
+    Args:
+        p: either a static ``(2,)`` point or a ``(steps, 2)`` trajectory.
+        steps: the required number of time steps.
+
+    Returns:
+        A ``(steps, 2)`` view or tiled array.
+
+    Raises:
+        ValueError: when the input shape is incompatible.
+    """
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.shape == (2,):
+        return np.broadcast_to(arr, (steps, 2))
+    if arr.shape == (steps, 2):
+        return arr
+    raise ValueError(f"expected (2,) or ({steps}, 2), got {arr.shape}")
+
+
+def pairwise_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-timestep Euclidean distance between two trajectories.
+
+    Args:
+        a: ``(T, 2)`` trajectory (or ``(2,)`` static point).
+        b: ``(T, 2)`` trajectory (or ``(2,)`` static point).
+
+    Returns:
+        ``(T,)`` distances.
+    """
+    steps = max(np.atleast_2d(a).shape[0], np.atleast_2d(b).shape[0])
+    if np.asarray(a).ndim == 1 and np.asarray(b).ndim == 1:
+        steps = 1
+    ta, tb = as_traj(a, steps), as_traj(b, steps)
+    return np.linalg.norm(ta - tb, axis=1)
+
+
+def segment_point_distance(
+    a: np.ndarray, b: np.ndarray, p: np.ndarray
+) -> np.ndarray:
+    """Distance from point trajectory ``p`` to segment ``a(t)--b(t)``.
+
+    All three arguments broadcast between static ``(2,)`` points and
+    ``(T, 2)`` trajectories.  Used for blockage tests: a path leg is
+    blocked at time ``t`` when this distance drops below the blocker
+    radius.
+
+    Returns:
+        ``(T,)`` shortest distances.
+    """
+    steps = max(
+        np.atleast_2d(np.asarray(a)).shape[0],
+        np.atleast_2d(np.asarray(b)).shape[0],
+        np.atleast_2d(np.asarray(p)).shape[0],
+    )
+    ta, tb, tp = as_traj(a, steps), as_traj(b, steps), as_traj(p, steps)
+    d = tb - ta
+    len_sq = np.einsum("ij,ij->i", d, d)
+    diff = tp - ta
+    # Parameter of the closest point, clamped to the segment.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(len_sq > 0.0, np.einsum("ij,ij->i", diff, d) / len_sq, 0.0)
+    t = np.clip(t, 0.0, 1.0)
+    closest = ta + t[:, None] * d
+    return np.linalg.norm(tp - closest, axis=1)
+
+
+def crossing_mask(
+    a: np.ndarray,
+    b: np.ndarray,
+    blocker: np.ndarray,
+    radius: float,
+    *,
+    endpoint_margin: float = 1e-6,
+) -> np.ndarray:
+    """Boolean mask of time steps where the leg ``a--b`` crosses a disc.
+
+    A leg whose *endpoint* sits at the blocker centre (e.g. the path
+    terminates at the body that carries the tag) is not counted as
+    blocked by that body: blockage needs the disc strictly between the
+    endpoints.
+
+    Args:
+        a: leg start, ``(2,)`` or ``(T, 2)``.
+        b: leg end, ``(2,)`` or ``(T, 2)``.
+        blocker: disc centre, ``(2,)`` or ``(T, 2)``.
+        radius: disc radius in metres.
+        endpoint_margin: tolerance for endpoint coincidence.
+
+    Returns:
+        ``(T,)`` boolean array, True where blocked.
+    """
+    steps = max(
+        np.atleast_2d(np.asarray(a)).shape[0],
+        np.atleast_2d(np.asarray(b)).shape[0],
+        np.atleast_2d(np.asarray(blocker)).shape[0],
+    )
+    ta, tb, tc = as_traj(a, steps), as_traj(b, steps), as_traj(blocker, steps)
+    near = segment_point_distance(ta, tb, tc) <= radius
+    at_start = np.linalg.norm(ta - tc, axis=1) <= radius + endpoint_margin
+    at_end = np.linalg.norm(tb - tc, axis=1) <= radius + endpoint_margin
+    return near & ~at_start & ~at_end

@@ -1,0 +1,30 @@
+"""The M2AI core: configuration, network, trainer, pipeline."""
+
+from repro.core.config import M2AIConfig
+from repro.core.dataset import ActivityDataset, ChannelScaler
+from repro.core.ensemble import M2AIEnsemble
+from repro.core.model import MODEL_MODES, ConvBranch, DenseBranch, M2AINet
+from repro.core.pipeline import EvaluationResult, M2AIPipeline, baseline_arrays
+from repro.core.serialization import load_pipeline, save_pipeline
+from repro.core.streaming import StreamingIdentifier, WindowDecision
+from repro.core.trainer import TrainHistory, Trainer
+
+__all__ = [
+    "MODEL_MODES",
+    "ActivityDataset",
+    "ChannelScaler",
+    "ConvBranch",
+    "DenseBranch",
+    "EvaluationResult",
+    "M2AIConfig",
+    "M2AIEnsemble",
+    "M2AINet",
+    "M2AIPipeline",
+    "StreamingIdentifier",
+    "TrainHistory",
+    "Trainer",
+    "WindowDecision",
+    "baseline_arrays",
+    "load_pipeline",
+    "save_pipeline",
+]

@@ -1,0 +1,64 @@
+"""Configuration of the M2AI learning engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class M2AIConfig:
+    """Architecture and training hyper-parameters (Section IV / VI-A).
+
+    Attributes:
+        conv_channels: output channels of the two pseudospectrum
+            convolution stages (CONV-E stack).
+        conv_kernels: kernel widths of the two stages.
+        branch_dim: per-channel encoder output width.
+        merge_dim: fused per-frame feature width (the FC merge layer).
+        lstm_hidden: memory cells per LSTM layer (paper: 32).
+        lstm_layers: stacked LSTM count (paper: 2).
+        dropout: dropout rate on the merged features.
+        epochs: training epochs (paper: 100 on real data; simulated
+            datasets converge much faster).
+        batch_size: minibatch size.
+        learning_rate: optimiser step size.
+        optimizer: ``"sgd"`` (the paper's choice) or ``"adam"``.
+        momentum: SGD momentum.
+        clip_norm: global gradient-norm ceiling (the paper scales the
+            gradient norm to fight exploding LSTM gradients).
+        weight_decay: L2 regularisation.
+        augment: apply training-time augmentation (angle shift, time
+            roll, feature noise) to each minibatch.
+        warmup_frames: recurrent modes ignore the first frames in the
+            loss and at prediction time — the LSTM has accumulated no
+            temporal context yet, so those logits are noise.
+        seed: weight-init and shuffling seed.
+    """
+
+    conv_channels: tuple[int, int] = (16, 24)
+    conv_kernels: tuple[int, int] = (7, 5)
+    branch_dim: int = 64
+    merge_dim: int = 48
+    lstm_hidden: int = 32
+    lstm_layers: int = 2
+    dropout: float = 0.2
+    epochs: int = 40
+    batch_size: int = 16
+    learning_rate: float = 0.001
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    clip_norm: float = 5.0
+    weight_decay: float = 1e-4
+    augment: bool = True
+    warmup_frames: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError("optimizer must be 'sgd' or 'adam'")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if self.lstm_layers < 1:
+            raise ValueError("need at least one LSTM layer")

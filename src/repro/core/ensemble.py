@@ -1,0 +1,88 @@
+"""Seed ensembles: averaging independently trained M2AI pipelines.
+
+Small simulated corpora leave single networks with noticeable seed
+variance; averaging the softmax outputs of a few independently
+initialised pipelines is the standard low-effort variance reducer and
+fits the library's deployment story (train overnight, serve the
+ensemble).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import M2AIConfig
+from repro.core.dataset import ActivityDataset
+from repro.core.pipeline import EvaluationResult, M2AIPipeline
+from repro.ml.metrics import accuracy, confusion_matrix
+
+
+@dataclass
+class M2AIEnsemble:
+    """A probability-averaged committee of :class:`M2AIPipeline`.
+
+    Args:
+        config: base hyper-parameters; member ``i`` trains with
+            ``seed = config.seed + i``.
+        n_members: committee size.
+        mode: network variant shared by every member.
+    """
+
+    config: M2AIConfig = field(default_factory=M2AIConfig)
+    n_members: int = 3
+    mode: str = "cnn_lstm"
+    members: list[M2AIPipeline] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_members < 1:
+            raise ValueError("an ensemble needs at least one member")
+
+    def fit(
+        self, train: ActivityDataset, val: ActivityDataset | None = None
+    ) -> "M2AIEnsemble":
+        """Train every member on the same data with distinct seeds."""
+        self.members = []
+        for i in range(self.n_members):
+            member_cfg = replace(self.config, seed=self.config.seed + i)
+            member = M2AIPipeline(member_cfg, mode=self.mode)
+            member.fit(train, val=val)
+            self.members.append(member)
+        return self
+
+    @property
+    def classes(self) -> np.ndarray:
+        if not self.members:
+            raise RuntimeError("ensemble not fitted")
+        return self.members[0].classes
+
+    def predict_proba(self, dataset: ActivityDataset) -> np.ndarray:
+        """Member-averaged class probabilities, ``(B, n_classes)``."""
+        if not self.members:
+            raise RuntimeError("ensemble not fitted")
+        stacked = np.stack([m.predict_proba(dataset) for m in self.members])
+        return stacked.mean(axis=0)
+
+    def predict(self, dataset: ActivityDataset) -> np.ndarray:
+        """Committee prediction per sample."""
+        return self.classes[self.predict_proba(dataset).argmax(axis=1)]
+
+    def evaluate(self, dataset: ActivityDataset) -> EvaluationResult:
+        """Accuracy + confusion of the committee."""
+        predictions = self.predict(dataset)
+        labels = np.asarray(dataset.labels)
+        return EvaluationResult(
+            accuracy=accuracy(labels, predictions),
+            confusion=confusion_matrix(
+                labels, predictions, labels=np.asarray(sorted(set(labels.tolist())))
+            ),
+            predictions=predictions,
+            labels=labels,
+        )
+
+    def member_accuracies(self, dataset: ActivityDataset) -> list[float]:
+        """Individual member accuracies (for diagnosing diversity)."""
+        if not self.members:
+            raise RuntimeError("ensemble not fitted")
+        return [m.evaluate(dataset).accuracy for m in self.members]

@@ -1,0 +1,249 @@
+"""The M2AI deep network (Fig. 6) and its ablation variants.
+
+Per spectrum frame, a CNN encoder compresses each input channel
+(pseudospectrum ``n_tags x 180``, periodogram ``n_tags x N``); a
+fully-connected layer merges the branches into one per-frame feature;
+two stacked LSTM layers of 32 cells track the frame sequence; a softmax
+head predicts the activity at every frame.
+
+Ablation variants (Fig. 17):
+
+* ``"cnn"`` — same encoders, temporal mean pooling instead of LSTMs;
+* ``"lstm"`` — a linear per-frame projection instead of the CNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import M2AIConfig
+from repro.nn.conv import Conv1d, MaxPool1d
+from repro.nn.layers import Dense, Dropout, Flatten, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.recurrent import LSTM
+
+MODEL_MODES = ("cnn_lstm", "cnn", "lstm")
+
+
+def _conv_out_length(length: int, kernel: int, stride: int, padding: int) -> int:
+    return (length + 2 * padding - kernel) // stride + 1
+
+
+class ConvBranch(Module):
+    """CNN encoder for one wide channel: ``(B', n_tags, D) -> (B', out)``.
+
+    Realises the paper's CONV-E stack: two strided convolutions over the
+    angle axis with the tags as input channels, max-pooled, flattened
+    and projected.
+    """
+
+    def __init__(
+        self, n_tags: int, width: int, cfg: M2AIConfig, rng: np.random.Generator, name: str
+    ) -> None:
+        c1, c2 = cfg.conv_channels
+        k1, k2 = cfg.conv_kernels
+        length = width
+        layers: list[Module] = []
+        # Resolution matters: pseudospectrum peaks move by a handful of
+        # 1-degree bins per activity, so the stack keeps stride 1 on the
+        # first stage and downsamples only once.  Aggressive pooling
+        # (a 16x reduction) measurably destroys the class signal.
+        layers.append(
+            Conv1d(n_tags, c1, k1, rng, stride=1, padding=k1 // 2, name=f"{name}.conv1")
+        )
+        length = _conv_out_length(length, k1, 1, k1 // 2)
+        layers.append(ReLU())
+        layers.append(
+            Conv1d(c1, c2, k2, rng, stride=2, padding=k2 // 2, name=f"{name}.conv2")
+        )
+        length = _conv_out_length(length, k2, 2, k2 // 2)
+        layers.append(ReLU())
+        if length > 128:
+            layers.append(MaxPool1d(2))
+            length //= 2
+        layers.append(Flatten())
+        layers.append(Dense(c2 * length, cfg.branch_dim, rng, relu_init=True, name=f"{name}.fc"))
+        layers.append(ReLU())
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.net.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad)
+
+
+class DenseBranch(Module):
+    """Dense encoder for a narrow channel: ``(B', n_tags, D) -> (B', out)``."""
+
+    def __init__(
+        self, n_tags: int, width: int, cfg: M2AIConfig, rng: np.random.Generator, name: str
+    ) -> None:
+        self.net = Sequential(
+            Flatten(),
+            Dense(n_tags * width, cfg.branch_dim, rng, relu_init=True, name=f"{name}.fc"),
+            ReLU(),
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.net.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad)
+
+
+class LinearBranch(Module):
+    """Plain linear projection (the "LSTM only" ablation's front end)."""
+
+    def __init__(
+        self, n_tags: int, width: int, cfg: M2AIConfig, rng: np.random.Generator, name: str
+    ) -> None:
+        self.net = Sequential(
+            Flatten(),
+            Dense(n_tags * width, cfg.branch_dim, rng, name=f"{name}.proj"),
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.net.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad)
+
+
+_CONV_MIN_WIDTH = 32
+"""Channels at least this wide get the CNN encoder."""
+
+
+class M2AINet(Module):
+    """The full Fig. 6 network over named input channels.
+
+    Args:
+        channel_shapes: mapping channel name -> ``(n_tags, width)``.
+        n_classes: activity class count.
+        cfg: hyper-parameters.
+        mode: ``"cnn_lstm"`` (paper), ``"cnn"``, or ``"lstm"``.
+        rng: weight-init randomness; derived from ``cfg.seed`` if None.
+
+    Forward input is a dict ``{name: (B, T, n_tags, width)}``; output is
+    per-frame logits ``(B, T_out, n_classes)`` where ``T_out == T``
+    except in ``"cnn"`` mode (temporal mean pooling, ``T_out == 1``).
+    """
+
+    def __init__(
+        self,
+        channel_shapes: dict[str, tuple[int, int]],
+        n_classes: int,
+        cfg: M2AIConfig | None = None,
+        mode: str = "cnn_lstm",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if mode not in MODEL_MODES:
+            raise ValueError(f"mode must be one of {MODEL_MODES}")
+        if not channel_shapes:
+            raise ValueError("need at least one input channel")
+        cfg = cfg or M2AIConfig()
+        rng = rng or np.random.default_rng(cfg.seed)
+        self.cfg = cfg
+        self.mode = mode
+        self.channel_names = sorted(channel_shapes)
+        self.channel_shapes = dict(channel_shapes)
+        self.n_classes = n_classes
+
+        self.branches: list[Module] = []
+        for name in self.channel_names:
+            n_tags, width = channel_shapes[name]
+            if mode == "lstm":
+                branch: Module = LinearBranch(n_tags, width, cfg, rng, name)
+            elif width >= _CONV_MIN_WIDTH:
+                branch = ConvBranch(n_tags, width, cfg, rng, name)
+            else:
+                branch = DenseBranch(n_tags, width, cfg, rng, name)
+            self.branches.append(branch)
+
+        merged_in = cfg.branch_dim * len(self.channel_names)
+        self.merge = Sequential(
+            Dense(merged_in, cfg.merge_dim, rng, relu_init=True, name="merge.fc"),
+            ReLU(),
+            Dropout(cfg.dropout, rng),
+        )
+
+        if mode in ("cnn_lstm", "lstm"):
+            self.lstms: list[Module] = []
+            in_dim = cfg.merge_dim
+            for i in range(cfg.lstm_layers):
+                self.lstms.append(LSTM(in_dim, cfg.lstm_hidden, rng, name=f"lstm{i}"))
+                in_dim = cfg.lstm_hidden
+            head_in = cfg.lstm_hidden
+        else:
+            self.lstms = []
+            head_in = cfg.merge_dim
+        self.head = Dense(head_in, n_classes, rng, name="head")
+        self._batch_frames: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------------
+
+    def forward(
+        self, inputs: dict[str, np.ndarray], training: bool = False
+    ) -> np.ndarray:
+        """Per-frame logits for a batch of frame sequences."""
+        missing = [n for n in self.channel_names if n not in inputs]
+        if missing:
+            raise ValueError(f"missing input channels: {missing}")
+        first = inputs[self.channel_names[0]]
+        batch, frames = first.shape[0], first.shape[1]
+        feats = []
+        for name, branch in zip(self.channel_names, self.branches):
+            x = inputs[name]
+            if x.shape[:2] != (batch, frames):
+                raise ValueError("channels disagree on (batch, frames)")
+            flat = x.reshape(batch * frames, *x.shape[2:])
+            feats.append(branch.forward(flat, training=training))
+        merged = self.merge.forward(np.concatenate(feats, axis=1), training=training)
+        seq = merged.reshape(batch, frames, -1)
+        self._batch_frames = (batch, frames)
+
+        if self.mode == "cnn":
+            pooled = seq.mean(axis=1)
+            logits = self.head.forward(pooled, training=training)
+            return logits[:, None, :]
+        hidden = seq
+        for lstm in self.lstms:
+            hidden = lstm.forward(hidden, training=training)
+        return self.head.forward(hidden, training=training)
+
+    def backward(self, grad: np.ndarray) -> dict[str, np.ndarray]:
+        """Backprop; returns per-channel input gradients."""
+        if self._batch_frames is None:
+            raise RuntimeError("backward before forward")
+        batch, frames = self._batch_frames
+        if self.mode == "cnn":
+            dpooled = self.head.backward(grad[:, 0, :])
+            dseq = np.broadcast_to(
+                dpooled[:, None, :] / frames, (batch, frames, dpooled.shape[-1])
+            ).copy()
+        else:
+            dseq = self.head.backward(grad)
+            for lstm in reversed(self.lstms):
+                dseq = lstm.backward(dseq)
+        dmerged = self.merge.backward(dseq.reshape(batch * frames, -1))
+        out: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, branch in zip(self.channel_names, self.branches):
+            width = self.cfg.branch_dim
+            dbranch = branch.backward(dmerged[:, offset : offset + width])
+            offset += width
+            n_tags, dim = self.channel_shapes[name]
+            out[name] = dbranch.reshape(batch, frames, n_tags, dim)
+        return out
+
+    def predict_logits(self, inputs: dict[str, np.ndarray]) -> np.ndarray:
+        """Sample-level logits: mean of the per-frame logits, ``(B, C)``.
+
+        Recurrent modes skip the configured warm-up frames, where the
+        LSTM state carries no history yet.
+        """
+        logits = self.forward(inputs, training=False)
+        start = 0
+        if self.mode != "cnn":
+            start = min(self.cfg.warmup_frames, logits.shape[1] - 1)
+        return logits[:, start:, :].mean(axis=1)

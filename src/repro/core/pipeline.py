@@ -1,0 +1,154 @@
+"""End-to-end M2AI pipeline: frames in, activity labels out.
+
+Glues the scaler, the Fig. 6 network and the trainer behind a
+classifier-like ``fit``/``predict``/``evaluate`` interface operating on
+:class:`~repro.core.dataset.ActivityDataset` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import M2AIConfig
+from repro.core.dataset import ActivityDataset, ChannelScaler
+from repro.core.model import M2AINet
+from repro.core.trainer import TrainHistory, Trainer
+from repro.ml.base import LabelEncoder
+from repro.ml.metrics import ConfusionMatrix, accuracy, confusion_matrix
+
+
+@dataclass
+class EvaluationResult:
+    """Scored predictions on a dataset."""
+
+    accuracy: float
+    confusion: ConfusionMatrix
+    predictions: np.ndarray
+    labels: np.ndarray
+
+
+@dataclass
+class M2AIPipeline:
+    """The deployable classifier.
+
+    Args:
+        config: network/training hyper-parameters.
+        mode: ``"cnn_lstm"`` (the paper), ``"cnn"`` or ``"lstm"``
+            (Fig. 17 ablations).
+    """
+
+    config: M2AIConfig = field(default_factory=M2AIConfig)
+    mode: str = "cnn_lstm"
+    model: M2AINet | None = None
+    history: TrainHistory | None = None
+    _scaler: ChannelScaler = field(default_factory=ChannelScaler)
+    _encoder: LabelEncoder = field(default_factory=LabelEncoder)
+
+    def fit(
+        self, train: ActivityDataset, val: ActivityDataset | None = None
+    ) -> "M2AIPipeline":
+        """Train on ``train``; ``val`` drives best-epoch selection."""
+        channels, labels = train.to_arrays()
+        channels = self._scaler.fit_transform(channels)
+        ids = self._encoder.fit_transform(labels)
+        self.model = M2AINet(
+            channel_shapes=train.channel_shapes,
+            n_classes=self._encoder.n_classes,
+            cfg=self.config,
+            mode=self.mode,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        trainer = Trainer(self.model, self.config)
+        val_channels = val_ids = None
+        if val is not None:
+            raw_val, val_labels = val.to_arrays()
+            val_channels = self._scaler.transform(raw_val)
+            val_ids = self._encoder.transform(val_labels)
+        self.history = trainer.fit(channels, ids, val_channels, val_ids)
+        return self
+
+    def fine_tune(
+        self, train: ActivityDataset, epochs: int = 10, learning_rate: float | None = None
+    ) -> "M2AIPipeline":
+        """Continue training a fitted pipeline on new data.
+
+        Supports the paper's Section VII deployment story: a model
+        trained in one environment is adapted to another with a short
+        retraining pass.  The feature scaler and label vocabulary are
+        kept from the original fit (new data must use known classes).
+
+        Raises:
+            RuntimeError: when the pipeline was never fitted.
+        """
+        if self.model is None:
+            raise RuntimeError("fine_tune requires a fitted pipeline")
+        from dataclasses import replace
+
+        channels, labels = train.to_arrays()
+        channels = self._scaler.transform(channels)
+        ids = self._encoder.transform(labels)
+        cfg = replace(
+            self.config,
+            epochs=epochs,
+            learning_rate=learning_rate or self.config.learning_rate / 2,
+        )
+        Trainer(self.model, cfg).fit(channels, ids)
+        return self
+
+    def predict(self, dataset: ActivityDataset) -> np.ndarray:
+        """Predicted labels for every sample."""
+        proba = self.predict_proba(dataset)
+        return self._encoder.inverse(proba.argmax(axis=1))
+
+    def predict_proba(self, dataset: ActivityDataset) -> np.ndarray:
+        """Class probabilities per sample, ``(B, n_classes)``.
+
+        Columns follow ``self.classes`` ordering.
+        """
+        if self.model is None:
+            raise RuntimeError("pipeline not fitted")
+        from repro.nn.losses import softmax
+
+        channels, _ = dataset.to_arrays()
+        channels = self._scaler.transform(channels)
+        return softmax(self.model.predict_logits(channels))
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Label vocabulary in probability-column order."""
+        if self._encoder.classes_ is None:
+            raise RuntimeError("pipeline not fitted")
+        return self._encoder.classes_
+
+    def evaluate(self, dataset: ActivityDataset) -> EvaluationResult:
+        """Accuracy + confusion matrix on a labelled dataset."""
+        predictions = self.predict(dataset)
+        labels = np.asarray(dataset.labels)
+        return EvaluationResult(
+            accuracy=accuracy(labels, predictions),
+            confusion=confusion_matrix(
+                labels, predictions, labels=np.asarray(sorted(set(labels.tolist())))
+            ),
+            predictions=predictions,
+            labels=labels,
+        )
+
+
+def baseline_arrays(
+    train: ActivityDataset, test: ActivityDataset
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened, standardised features for the classical baselines.
+
+    The scaler is fitted on the training split only.
+
+    Returns:
+        ``(x_train, y_train, x_test, y_test)``.
+    """
+    from repro.ml.preprocessing import StandardScaler
+
+    scaler = StandardScaler()
+    x_train = scaler.fit_transform(train.flatten_features())
+    x_test = scaler.transform(test.flatten_features())
+    return x_train, np.asarray(train.labels), x_test, np.asarray(test.labels)

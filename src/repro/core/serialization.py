@@ -1,0 +1,107 @@
+"""Pipeline persistence: save a trained M2AI classifier, load it back.
+
+A deployment trains once and serves for weeks; the trained pipeline
+(network weights, feature scalers, label vocabulary, configuration)
+round-trips through a single ``.npz`` file with a JSON manifest — no
+pickle, so checkpoints are portable and inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import M2AIConfig
+from repro.core.dataset import ChannelScaler
+from repro.core.model import M2AINet
+from repro.core.pipeline import M2AIPipeline
+from repro.ml.base import LabelEncoder
+from repro.ml.preprocessing import StandardScaler
+
+_FORMAT_VERSION = 1
+
+
+def save_pipeline(pipeline: M2AIPipeline, path: str | Path) -> None:
+    """Write a fitted pipeline to ``path`` (.npz).
+
+    Raises:
+        RuntimeError: when the pipeline has not been fitted.
+    """
+    if pipeline.model is None:
+        raise RuntimeError("cannot save an unfitted pipeline")
+    path = Path(path)
+    model = pipeline.model
+    encoder = pipeline._encoder
+    assert encoder.classes_ is not None
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(pipeline.config),
+        "mode": pipeline.mode,
+        "classes": encoder.classes_.tolist(),
+        "channel_shapes": {
+            name: list(shape) for name, shape in model.channel_shapes.items()
+        },
+        "n_classes": model.n_classes,
+        "scaler_channels": sorted(pipeline._scaler._scalers),
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for i, value in enumerate(model.get_state()):
+        arrays[f"param_{i:04d}"] = value
+    for name, scaler in pipeline._scaler._scalers.items():
+        assert scaler.mean_ is not None and scaler.scale_ is not None
+        arrays[f"scaler_mean__{name}"] = scaler.mean_
+        arrays[f"scaler_scale__{name}"] = scaler.scale_
+    np.savez_compressed(path, manifest=json.dumps(manifest), **arrays)
+
+
+def load_pipeline(path: str | Path) -> M2AIPipeline:
+    """Load a pipeline saved by :func:`save_pipeline`.
+
+    Raises:
+        ValueError: for an unknown format version.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        manifest = json.loads(str(data["manifest"]))
+        if manifest["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {manifest['format_version']}"
+            )
+        config_fields = dict(manifest["config"])
+        # JSON stores tuples as lists; restore tuple-typed fields.
+        for key, value in config_fields.items():
+            if isinstance(value, list):
+                config_fields[key] = tuple(value)
+        config = M2AIConfig(**config_fields)
+        pipeline = M2AIPipeline(config, mode=manifest["mode"])
+
+        encoder = LabelEncoder()
+        encoder.classes_ = np.array(manifest["classes"])
+        pipeline._encoder = encoder
+
+        scaler = ChannelScaler()
+        for name in manifest["scaler_channels"]:
+            inner = StandardScaler()
+            inner.mean_ = data[f"scaler_mean__{name}"]
+            inner.scale_ = data[f"scaler_scale__{name}"]
+            scaler._scalers[name] = inner
+        pipeline._scaler = scaler
+
+        channel_shapes = {
+            name: tuple(shape)
+            for name, shape in manifest["channel_shapes"].items()
+        }
+        model = M2AINet(
+            channel_shapes=channel_shapes,
+            n_classes=manifest["n_classes"],
+            cfg=config,
+            mode=manifest["mode"],
+            rng=np.random.default_rng(config.seed),
+        )
+        param_keys = sorted(k for k in data.files if k.startswith("param_"))
+        model.set_state([data[k] for k in param_keys])
+        pipeline.model = model
+    return pipeline

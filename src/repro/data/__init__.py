@@ -1,0 +1,29 @@
+"""Synthetic dataset generation and workload presets."""
+
+from repro.data.generator import (
+    ENVIRONMENTS,
+    GenerationConfig,
+    RawSample,
+    SyntheticDatasetGenerator,
+    vary,
+)
+from repro.data.workloads import (
+    full_generation,
+    full_training,
+    quick_generation,
+    quick_training,
+    tiny_generation,
+)
+
+__all__ = [
+    "ENVIRONMENTS",
+    "GenerationConfig",
+    "RawSample",
+    "SyntheticDatasetGenerator",
+    "full_generation",
+    "full_training",
+    "quick_generation",
+    "quick_training",
+    "tiny_generation",
+    "vary",
+]

@@ -1,0 +1,93 @@
+"""Signal preprocessing: calibration, MUSIC, periodogram, frames."""
+
+from repro.dsp.angles import (
+    circular_distance,
+    circular_mean,
+    circular_median,
+    fold_double,
+    wrap_2pi,
+    wrap_pm_pi,
+)
+from repro.dsp.calibration import PhaseCalibrator, uncalibrated
+from repro.dsp.correlation import (
+    diagonal_load,
+    forward_backward,
+    sample_covariance,
+    spatial_covariance,
+)
+from repro.dsp.doppler import DopplerFeaturizer, doppler_from_phases, dwell_doppler
+from repro.dsp.features import (
+    FEATURIZERS,
+    FftOnlyFeaturizer,
+    M2AIFeaturizer,
+    MusicOnlyFeaturizer,
+    PhaseFeaturizer,
+    RssiFeaturizer,
+)
+from repro.dsp.frames import (
+    FeatureFrames,
+    build_spectrum_frames,
+    normalize_pseudospectrum,
+    power_to_db,
+)
+from repro.dsp.localization import (
+    BearingEstimate,
+    bearing_ray,
+    estimate_bearing,
+    localize_tag,
+    triangulate,
+)
+from repro.dsp.music import (
+    DEFAULT_ANGLES_DEG,
+    PHASE_MULTIPLIER,
+    MusicResult,
+    estimate_n_sources,
+    music_pseudospectrum,
+    steering_matrix,
+)
+from repro.dsp.periodogram import periodogram_psd, spatial_periodogram, total_power
+from repro.dsp.snapshots import TagSnapshots, build_snapshots
+
+__all__ = [
+    "DEFAULT_ANGLES_DEG",
+    "BearingEstimate",
+    "DopplerFeaturizer",
+    "FEATURIZERS",
+    "PHASE_MULTIPLIER",
+    "FeatureFrames",
+    "FftOnlyFeaturizer",
+    "M2AIFeaturizer",
+    "MusicOnlyFeaturizer",
+    "MusicResult",
+    "PhaseCalibrator",
+    "PhaseFeaturizer",
+    "RssiFeaturizer",
+    "TagSnapshots",
+    "bearing_ray",
+    "build_snapshots",
+    "build_spectrum_frames",
+    "circular_distance",
+    "circular_mean",
+    "circular_median",
+    "diagonal_load",
+    "doppler_from_phases",
+    "dwell_doppler",
+    "estimate_bearing",
+    "estimate_n_sources",
+    "fold_double",
+    "localize_tag",
+    "forward_backward",
+    "music_pseudospectrum",
+    "normalize_pseudospectrum",
+    "periodogram_psd",
+    "power_to_db",
+    "sample_covariance",
+    "spatial_covariance",
+    "spatial_periodogram",
+    "steering_matrix",
+    "total_power",
+    "triangulate",
+    "uncalibrated",
+    "wrap_2pi",
+    "wrap_pm_pi",
+]

@@ -1,0 +1,84 @@
+"""Circular (angular) statistics helpers.
+
+Reader phases live on the circle; medians and means must respect the
+wrap-around.  These helpers are shared by calibration and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+TWO_PI = 2.0 * np.pi
+
+
+def wrap_2pi(angles: np.ndarray | float) -> np.ndarray:
+    """Wrap angles into ``[0, 2*pi)``.
+
+    ``np.mod`` alone can return exactly ``2*pi`` for tiny negative
+    inputs (floating-point rounding); that boundary case is folded to 0.
+    """
+    out = np.mod(angles, TWO_PI)
+    return np.where(out >= TWO_PI, 0.0, out)
+
+
+def wrap_pm_pi(angles: np.ndarray | float) -> np.ndarray:
+    """Wrap angles into ``(-pi, pi]``."""
+    return np.mod(np.asarray(angles) + np.pi, TWO_PI) - np.pi
+
+
+def fold_double(phase: np.ndarray | float) -> np.ndarray:
+    """Collapse the reader's pi ambiguity by doubling the phase.
+
+    The R420 reports either the true phase or the true phase plus pi
+    (Section V).  Doubling maps both onto the same point of the circle:
+    ``2*(phi + pi) = 2*phi (mod 2*pi)``.  All downstream array
+    processing happens in this doubled-phase domain, which also doubles
+    the phase-per-metre and is why the antennas are spaced lambda/8.
+
+    Args:
+        phase: reported phase(s) in radians.
+
+    Returns:
+        Doubled phase(s) in ``[0, 2*pi)``.
+    """
+    return wrap_2pi(2.0 * np.asarray(phase, dtype=np.float64))
+
+
+def circular_mean(angles: np.ndarray) -> float:
+    """Mean direction of a sample of angles.
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    arr = np.asarray(angles, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("circular_mean of empty sample")
+    return float(np.angle(np.exp(1j * arr).mean()))
+
+
+def circular_median(angles: np.ndarray) -> float:
+    """Robust median direction.
+
+    Rotates the sample by its circular mean, takes the linear median of
+    the wrapped residuals, and rotates back — the standard fast
+    approximation, exact whenever the sample spans less than a
+    half-circle around its mean (true for per-channel phase samples of
+    a stationary tag, which is what calibration feeds in).
+
+    Returns:
+        Median angle in ``[0, 2*pi)``.
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    arr = np.asarray(angles, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("circular_median of empty sample")
+    centre = circular_mean(arr)
+    residuals = wrap_pm_pi(arr - centre)
+    return float(wrap_2pi(centre + np.median(residuals)))
+
+
+def circular_distance(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Absolute angular distance in ``[0, pi]``."""
+    return np.abs(wrap_pm_pi(np.asarray(a) - np.asarray(b)))

@@ -1,0 +1,178 @@
+"""Phase calibration across frequency-hopping channels (Section III-A).
+
+Hopping scrambles phases: every channel adds its own offset from the
+reader oscillator, the RF chain, and the tag antenna's frequency
+response.  The paper's fix (Eq. 1) collects ~10 s of reads from the tag
+while stationary, takes the per-channel median phase, and maps every
+runtime read onto a common reference channel:
+
+    phi(t) = phi_j(t) - median(phi_j) + median(phi_r)
+
+Our implementation works in the *doubled-phase* domain (see
+:func:`repro.dsp.angles.fold_double`) so the R420's pi ambiguity drops
+out before medians are taken, and keeps one table entry per
+(tag, antenna port, channel) since real ports have distinct cable
+offsets.  Channels never visited during calibration are covered by a
+linear phase-vs-frequency fit — exactly the linearity the paper
+demonstrates in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.angles import circular_median, fold_double, wrap_2pi
+from repro.hardware.llrp import ReadLog
+
+_MIN_CHANNELS_FOR_FIT = 4
+
+
+@dataclass
+class _AntennaCalibration:
+    """Per-(tag, antenna) calibration state."""
+
+    offsets: np.ndarray  # (n_channels,) doubled-phase offset or nan
+    fit_intercept: float
+    fit_slope_per_mhz: float
+    has_fit: bool
+
+    def offset_for(self, channel: int, frequencies_hz: np.ndarray) -> float:
+        """Offset for a channel, falling back to the linear fit."""
+        value = self.offsets[channel]
+        if not np.isnan(value):
+            return float(value)
+        if self.has_fit:
+            f_mhz = frequencies_hz[channel] / 1e6
+            return float(self.fit_intercept + self.fit_slope_per_mhz * f_mhz)
+        finite = self.offsets[~np.isnan(self.offsets)]
+        return float(circular_median(finite)) if finite.size else 0.0
+
+
+@dataclass
+class PhaseCalibrator:
+    """Fitted per-(tag, antenna, channel) phase offset table.
+
+    Build with :meth:`fit` on a stationary-scene calibration log, then
+    map runtime logs with :meth:`calibrate`.
+
+    Attributes:
+        frequencies_hz: the reader's channel table.
+        reference_channel: channel everything is mapped onto.
+    """
+
+    frequencies_hz: np.ndarray
+    reference_channel: int
+    _tables: dict[tuple[int, int], _AntennaCalibration] = field(default_factory=dict)
+
+    @classmethod
+    def fit(cls, calibration_log: ReadLog) -> "PhaseCalibrator":
+        """Learn offsets from a stationary-tag inventory.
+
+        Args:
+            calibration_log: reads taken while every tag holds still
+                (the paper's ~10 s bootstrap).
+
+        Returns:
+            A fitted calibrator covering every tag in the log.
+
+        Raises:
+            ValueError: when the log is empty.
+        """
+        if calibration_log.n_reads == 0:
+            raise ValueError("calibration log is empty")
+        meta = calibration_log.meta
+        freqs = np.asarray(meta.frequencies_hz, dtype=np.float64)
+        calibrator = cls(
+            frequencies_hz=freqs, reference_channel=meta.reference_channel
+        )
+        psi = fold_double(calibration_log.phase_rad)
+        n_channels = freqs.size
+        for tag in range(calibration_log.n_tags):
+            tag_mask = calibration_log.tag_index == tag
+            for ant in range(meta.n_antennas):
+                mask = tag_mask & (calibration_log.antenna == ant)
+                offsets = np.full(n_channels, np.nan)
+                for ch in np.unique(calibration_log.channel[mask]):
+                    ch_mask = mask & (calibration_log.channel == ch)
+                    offsets[ch] = circular_median(psi[ch_mask])
+                calibrator._tables[(tag, ant)] = _fit_antenna(offsets, freqs)
+        return calibrator
+
+    def calibrate(self, log: ReadLog) -> np.ndarray:
+        """Calibrated doubled phases for every read in ``log``.
+
+        Implements Eq. 1 in the doubled domain:
+        ``psi_cal = psi - offset[channel] + offset[reference]``.
+
+        Args:
+            log: runtime read log from the same reader session.
+
+        A (tag, antenna) pair that produced no calibration reads at all
+        (e.g. the tag was occluded for the whole bootstrap) is passed
+        through uncalibrated — the graceful degradation a streaming
+        deployment needs.
+
+        Returns:
+            ``(R,)`` calibrated doubled phases in ``[0, 2*pi)``.
+        """
+        psi = fold_double(log.phase_rad)
+        out = np.empty_like(psi)
+        out[...] = psi
+        for tag in np.unique(log.tag_index):
+            for ant in np.unique(log.antenna):
+                mask = (log.tag_index == tag) & (log.antenna == ant)
+                if not mask.any():
+                    continue
+                table = self._tables.get((int(tag), int(ant)))
+                if table is None:
+                    continue
+                offset_vector = np.array(
+                    [
+                        table.offset_for(c, self.frequencies_hz)
+                        for c in range(self.frequencies_hz.size)
+                    ]
+                )
+                ref = offset_vector[self.reference_channel]
+                out[mask] = wrap_2pi(psi[mask] - offset_vector[log.channel[mask]] + ref)
+        return out
+
+    def coverage(self, tag: int, antenna: int) -> float:
+        """Fraction of channels directly observed during calibration."""
+        table = self._tables[(tag, antenna)]
+        return float(np.mean(~np.isnan(table.offsets)))
+
+
+def uncalibrated(log: ReadLog) -> np.ndarray:
+    """The Fig. 10 "no calibration" baseline: raw reported phases.
+
+    The paper's ablation feeds the reader API's phase output straight
+    into the pipeline ("directly using the measured phase by Impinj
+    R420 reader API is not accurate enough").  Raw means *everything*
+    stays in: the per-channel hopping offsets **and** the per-read pi
+    ambiguity — it is the calibration stage (working in the folded,
+    doubled domain) that neutralises both.  Downstream processing still
+    interprets these values in its doubled-phase convention, exactly
+    what "skip the preprocessing" does to a pipeline built for
+    calibrated inputs.
+    """
+    return wrap_2pi(np.asarray(log.phase_rad, dtype=np.float64))
+
+
+def _fit_antenna(offsets: np.ndarray, freqs: np.ndarray) -> _AntennaCalibration:
+    """Fit the linear phase-vs-frequency model over observed channels."""
+    observed = np.flatnonzero(~np.isnan(offsets))
+    if observed.size < _MIN_CHANNELS_FOR_FIT:
+        return _AntennaCalibration(offsets, 0.0, 0.0, has_fit=False)
+    f_mhz = freqs[observed] / 1e6
+    order = np.argsort(f_mhz)
+    f_sorted = f_mhz[order]
+    psi_sorted = np.unwrap(offsets[observed][order])
+    slope, intercept = np.polyfit(f_sorted, psi_sorted, 1)
+    return _AntennaCalibration(
+        offsets=offsets,
+        fit_intercept=float(intercept),
+        fit_slope_per_mhz=float(slope),
+        has_fit=True,
+    )

@@ -1,0 +1,74 @@
+"""Spatial correlation matrices (Eq. 10) with coherent-source fixes.
+
+Backscatter multipath components are *coherent* — they are copies of
+one tag reply — so the plain sample covariance is rank-deficient and
+plain MUSIC cannot separate them.  Forward-backward averaging restores
+rank for a uniform linear array and is standard practice; it is the
+de-correlation step implied by the paper's "de-couple multipath
+signals" stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_covariance(snapshots: np.ndarray, valid: np.ndarray | None = None) -> np.ndarray:
+    """Sample spatial covariance ``R = E[x x^H]`` over snapshots.
+
+    Args:
+        snapshots: ``(K, N)`` complex array, one row per snapshot.
+        valid: optional ``(K, N)`` mask; snapshots missing any antenna
+            are dropped, and when *every* snapshot has gaps the gaps
+            are zero-filled (conservative fallback).
+
+    Returns:
+        ``(N, N)`` Hermitian covariance.
+
+    Raises:
+        ValueError: when no snapshot is available at all.
+    """
+    x = np.asarray(snapshots, dtype=np.complex128)
+    if x.ndim != 2:
+        raise ValueError("snapshots must be (K, N)")
+    if valid is not None:
+        complete = valid.all(axis=1)
+        if complete.any():
+            x = x[complete]
+        elif not valid.any():
+            raise ValueError("no valid snapshots")
+    if x.shape[0] == 0:
+        raise ValueError("no valid snapshots")
+    # R[i, j] = E[x_i * conj(x_j)] — rows of ``x`` are snapshots.
+    return x.T @ x.conj() / x.shape[0]
+
+
+def forward_backward(r: np.ndarray) -> np.ndarray:
+    """Forward-backward averaged covariance ``(R + J R* J) / 2``.
+
+    ``J`` is the exchange matrix.  For a ULA this doubles the effective
+    snapshot count and de-correlates coherent path pairs.
+    """
+    r = np.asarray(r)
+    n = r.shape[0]
+    j = np.eye(n)[::-1]
+    return 0.5 * (r + j @ r.conj() @ j)
+
+
+def diagonal_load(r: np.ndarray, level: float = 1e-6) -> np.ndarray:
+    """Add ``level * trace(R)/N`` to the diagonal for numerical safety."""
+    n = r.shape[0]
+    return r + np.eye(n) * (level * np.trace(r).real / n)
+
+
+def spatial_covariance(
+    snapshots: np.ndarray,
+    valid: np.ndarray | None = None,
+    use_forward_backward: bool = True,
+    loading: float = 1e-6,
+) -> np.ndarray:
+    """The full covariance pipeline used by the pseudospectrum stage."""
+    r = sample_covariance(snapshots, valid)
+    if use_forward_backward:
+        r = forward_backward(r)
+    return diagonal_load(r, loading)

@@ -1,0 +1,159 @@
+"""Spectrum frames: the learning engine's input tensors (Section IV-A).
+
+A *frame* is one 400 ms dwell reduced to per-tag feature vectors:
+
+* the pseudospectrum frame, ``(n_tags, 180)`` — angle structure;
+* the periodogram frame, ``(n_tags, N)`` — power structure.
+
+A sample is the frame sequence over the observation window; stacking
+all tags into each frame is what lets the network reason about the
+*joint* multi-tag, multi-path state of the room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.correlation import spatial_covariance
+from repro.dsp.music import DEFAULT_ANGLES_DEG, music_pseudospectrum
+from repro.dsp.periodogram import spatial_periodogram
+from repro.dsp.snapshots import TagSnapshots, build_snapshots
+from repro.hardware.llrp import ReadLog
+
+_DB_FLOOR = -40.0
+
+
+def normalize_pseudospectrum(spectrum: np.ndarray) -> np.ndarray:
+    """Scale-free dB compression of a MUSIC pseudospectrum.
+
+    MUSIC peak heights span orders of magnitude and carry no absolute
+    power meaning (that is the periodogram's job), so each spectrum is
+    expressed in dB relative to its own peak and clipped at -40 dB,
+    then mapped to ``[0, 1]``.
+    """
+    s = np.asarray(spectrum, dtype=np.float64)
+    peak = max(float(s.max()), 1e-300)
+    db = 10.0 * np.log10(np.maximum(s, 1e-300) / peak)
+    return np.clip(db, _DB_FLOOR, 0.0) / (-_DB_FLOOR) + 1.0
+
+
+def power_to_db(power: np.ndarray, floor_db: float = -120.0) -> np.ndarray:
+    """Power to decibels with a floor (periodogram frames)."""
+    p = np.asarray(power, dtype=np.float64)
+    return np.maximum(10.0 * np.log10(np.maximum(p, 1e-30)), floor_db)
+
+
+@dataclass
+class FeatureFrames:
+    """One sample: named feature channels over frames and tags.
+
+    Attributes:
+        channels: mapping from channel name (``"pseudo"``,
+            ``"period"``, ...) to a ``(F, n_tags, D)`` float array.
+        label: the activity class, when known.
+    """
+
+    channels: dict[str, np.ndarray]
+    label: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_frames(self) -> int:
+        return int(next(iter(self.channels.values())).shape[0])
+
+    @property
+    def n_tags(self) -> int:
+        return int(next(iter(self.channels.values())).shape[1])
+
+    def channel_dims(self) -> dict[str, int]:
+        """Feature width of each channel (used to size the network)."""
+        return {k: int(v.shape[2]) for k, v in self.channels.items()}
+
+    def flatten(self) -> np.ndarray:
+        """Whole sample as one flat vector (classical-baseline input)."""
+        return np.concatenate(
+            [v.reshape(-1) for _, v in sorted(self.channels.items())]
+        )
+
+
+def tag_snapshot_set(
+    log: ReadLog, psi: np.ndarray, n_frames: int | None = None
+) -> list[TagSnapshots]:
+    """Snapshots for every tag over a common frame axis."""
+    if n_frames is None:
+        min_t = float(log.timestamp_s.min()) if log.n_reads else 0.0
+        t0 = np.floor(min_t / log.meta.dwell_s) * log.meta.dwell_s
+        span = float(log.timestamp_s.max() - t0) if log.n_reads else 0.0
+        n_frames = max(1, int(np.ceil((span + 1e-9) / log.meta.dwell_s)))
+    return [
+        build_snapshots(log, psi, tag, n_frames=n_frames)
+        for tag in range(log.n_tags)
+    ]
+
+
+def build_spectrum_frames(
+    log: ReadLog,
+    psi: np.ndarray,
+    n_frames: int | None = None,
+    angles_deg: np.ndarray | None = None,
+    include_pseudo: bool = True,
+    include_period: bool = True,
+    label: str | None = None,
+) -> FeatureFrames:
+    """The M2AI preprocessing output: pseudospectrum + periodogram frames.
+
+    Frames where a tag was not observed on at least two ports repeat
+    the tag's previous frame (zero for a missing first frame) — the
+    streaming-friendly imputation a real deployment would use.
+
+    Args:
+        log: session read log.
+        psi: doubled phases aligned with the log (calibrated or not).
+        n_frames: force the frame count.
+        angles_deg: pseudospectrum angle grid (paper default, 180 pts).
+        include_pseudo: emit the ``"pseudo"`` channel.
+        include_period: emit the ``"period"`` channel.
+        label: ground-truth activity class to attach.
+
+    Returns:
+        The assembled :class:`FeatureFrames`.
+    """
+    grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
+    snapshot_sets = tag_snapshot_set(log, psi, n_frames)
+    frames = snapshot_sets[0].n_frames
+    n_tags = len(snapshot_sets)
+    n_ant = log.meta.n_antennas
+
+    pseudo = np.zeros((frames, n_tags, grid.size)) if include_pseudo else None
+    period = np.zeros((frames, n_tags, n_ant)) if include_period else None
+
+    for k, snaps in enumerate(snapshot_sets):
+        for f in range(frames):
+            if not snaps.frame_valid(f):
+                if f > 0:
+                    if pseudo is not None:
+                        pseudo[f, k] = pseudo[f - 1, k]
+                    if period is not None:
+                        period[f, k] = period[f - 1, k]
+                continue
+            z, valid = snaps.z[f], snaps.valid[f]
+            if pseudo is not None:
+                cov = spatial_covariance(z, valid)
+                result = music_pseudospectrum(
+                    cov,
+                    spacing_m=log.meta.spacing_m,
+                    wavelength_m=float(snaps.wavelength_m[f]),
+                    angles_deg=grid,
+                )
+                pseudo[f, k] = normalize_pseudospectrum(result.spectrum)
+            if period is not None:
+                period[f, k] = power_to_db(spatial_periodogram(z, valid))
+
+    channels: dict[str, np.ndarray] = {}
+    if pseudo is not None:
+        channels["pseudo"] = pseudo
+    if period is not None:
+        channels["period"] = period
+    return FeatureFrames(channels=channels, label=label)

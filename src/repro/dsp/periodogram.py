@@ -1,0 +1,74 @@
+"""Periodogram power estimation (Section III-C.2, Eq. 13-16).
+
+The paper pairs the pseudospectrum (accurate angles, unreliable
+powers) with the periodogram (accurate powers): the DFT of the
+snapshot across the antenna aperture gives a coarse spatial power
+density with N bins — "four values" on the R420 (Fig. 5b).
+
+This module also provides the generic discrete-time periodogram
+(Eq. 14) because tests pin it to Parseval's theorem (Eq. 16's
+footnote), and the FFT-based featuriser of Fig. 16 reuses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def periodogram_psd(y: np.ndarray) -> np.ndarray:
+    """The classical periodogram ``phi_p(omega_k) = |Y(k)|^2 / N``.
+
+    Evaluated at the standard frequency sampling ``omega_k = 2*pi*k/N``
+    (Eq. 15) via the FFT (Eq. 16).
+
+    Args:
+        y: ``(N,)`` complex or real sequence.
+
+    Returns:
+        ``(N,)`` non-negative power densities.
+
+    Raises:
+        ValueError: on an empty sequence.
+    """
+    arr = np.asarray(y, dtype=np.complex128)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("y must be a non-empty 1-D sequence")
+    spectrum = np.fft.fft(arr)
+    return (np.abs(spectrum) ** 2) / arr.size
+
+
+def spatial_periodogram(
+    snapshots: np.ndarray, valid: np.ndarray | None = None
+) -> np.ndarray:
+    """Average spatial periodogram of a dwell's snapshots.
+
+    Args:
+        snapshots: ``(K, N)`` complex snapshots (rounds x antennas).
+        valid: optional ``(K, N)`` observation mask; incomplete
+            snapshots are dropped when any complete one exists.
+
+    Returns:
+        ``(N,)`` mean power per spatial-frequency bin.
+
+    Raises:
+        ValueError: when nothing is observed.
+    """
+    x = np.asarray(snapshots, dtype=np.complex128)
+    if x.ndim != 2:
+        raise ValueError("snapshots must be (K, N)")
+    if valid is not None:
+        complete = valid.all(axis=1)
+        if complete.any():
+            x = x[complete]
+        elif not valid.any():
+            raise ValueError("no valid snapshots")
+    if x.shape[0] == 0:
+        raise ValueError("no valid snapshots")
+    powers = np.abs(np.fft.fft(x, axis=1)) ** 2 / x.shape[1]
+    return powers.mean(axis=0)
+
+
+def total_power(y: np.ndarray) -> float:
+    """Sum of squared magnitudes — the Parseval-side invariant."""
+    arr = np.asarray(y, dtype=np.complex128)
+    return float(np.sum(np.abs(arr) ** 2))

@@ -1,0 +1,137 @@
+"""Snapshot assembly: read log -> per-tag array snapshots.
+
+The R420 time-multiplexes its four ports (25 ms each), so one *round*
+of port switching (100 ms) yields one spatial snapshot — a complex
+value per antenna — and one 400 ms channel dwell yields four snapshots
+at a single carrier frequency.  Grouping per dwell keeps every spatial
+correlation matrix single-frequency, which is what makes MUSIC steering
+exact; successive dwells become successive *spectrum frames* for the
+learning engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.link import rssi_dbm_to_amplitude
+from repro.channel.params import ChannelParams
+from repro.hardware.llrp import ReadLog
+
+
+@dataclass
+class TagSnapshots:
+    """Per-dwell spatial snapshots of one tag.
+
+    Attributes:
+        z: ``(F, K, N)`` complex snapshots — F dwells (frames), K
+            rounds per dwell, N antennas.  Invalid entries are 0.
+        valid: ``(F, K, N)`` bool mask of entries actually observed.
+        wavelength_m: ``(F,)`` carrier wavelength of each dwell.
+        frame_time_s: ``(F,)`` dwell start times.
+    """
+
+    z: np.ndarray
+    valid: np.ndarray
+    wavelength_m: np.ndarray
+    frame_time_s: np.ndarray
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.z.shape[0])
+
+    @property
+    def n_antennas(self) -> int:
+        return int(self.z.shape[2])
+
+    def frame_valid(self, f: int, min_antennas: int = 2) -> bool:
+        """True when frame ``f`` observed at least ``min_antennas`` ports."""
+        seen = self.valid[f].any(axis=0)
+        return int(seen.sum()) >= min_antennas
+
+
+def build_snapshots(
+    log: ReadLog,
+    psi: np.ndarray,
+    tag: int,
+    n_frames: int | None = None,
+    channel_params: ChannelParams | None = None,
+) -> TagSnapshots:
+    """Assemble snapshots for one tag.
+
+    Each read becomes a complex sample ``a * exp(1j * psi)`` where the
+    amplitude comes from RSSI and ``psi`` is the (calibrated) doubled
+    phase.  Reads are binned by (dwell, round-within-dwell, antenna);
+    duplicate bins keep the last read.
+
+    Args:
+        log: the full session read log.
+        psi: ``(R,)`` doubled phases aligned with ``log`` (calibrated
+            or raw, the caller chooses — this is the Fig. 10 toggle).
+        tag: tag index to extract.
+        n_frames: force the number of frames (defaults to the span of
+            the log).
+        channel_params: link-budget constants for the RSSI inverse
+            mapping.
+
+    Returns:
+        The tag's :class:`TagSnapshots`.
+    """
+    if len(psi) != log.n_reads:
+        raise ValueError("psi must align with the log")
+    params = channel_params or ChannelParams()
+    meta = log.meta
+    n_ant = meta.n_antennas
+    round_s = meta.slot_s * n_ant
+    rounds_per_dwell = max(1, int(round(meta.dwell_s / round_s)))
+
+    mask = log.tag_index == tag
+    t = log.timestamp_s[mask]
+    antennas = log.antenna[mask]
+    psi_tag = psi[mask]
+    amps = rssi_dbm_to_amplitude(log.rssi_dbm[mask], params)
+    freqs = log.frequency_hz[mask]
+
+    # Snap the origin onto the dwell grid: the first *read* may fall
+    # mid-dwell (earlier reads lost to harvest failures), but frames
+    # must align with hop boundaries or a frame would mix two carriers.
+    min_t = float(log.timestamp_s.min()) if log.n_reads else 0.0
+    t0 = np.floor(min_t / meta.dwell_s) * meta.dwell_s
+    dwell_idx = np.floor((t - t0) / meta.dwell_s).astype(int)
+    round_idx = np.floor((t - t0) / round_s).astype(int)
+    k_idx = round_idx - dwell_idx * rounds_per_dwell
+    k_idx = np.clip(k_idx, 0, rounds_per_dwell - 1)
+
+    if n_frames is None:
+        span = log.timestamp_s.max() - t0 if log.n_reads else 0.0
+        n_frames = max(1, int(np.ceil((span + 1e-9) / meta.dwell_s)))
+
+    z = np.zeros((n_frames, rounds_per_dwell, n_ant), dtype=np.complex128)
+    valid = np.zeros((n_frames, rounds_per_dwell, n_ant), dtype=bool)
+    wavelength = np.full(n_frames, np.nan)
+
+    in_range = dwell_idx < n_frames
+    from repro.channel.params import SPEED_OF_LIGHT
+
+    for f, k, a, amp, ph, fr in zip(
+        dwell_idx[in_range],
+        k_idx[in_range],
+        antennas[in_range],
+        amps[in_range],
+        psi_tag[in_range],
+        freqs[in_range],
+    ):
+        z[f, k, a] = amp * np.exp(1j * ph)
+        valid[f, k, a] = True
+        wavelength[f] = SPEED_OF_LIGHT / fr
+
+    # Frames never observed (tag missed for a whole dwell) get the
+    # band-centre wavelength so downstream steering stays finite.
+    centre = float(np.nanmean(wavelength)) if np.isfinite(wavelength).any() else 0.328
+    wavelength = np.where(np.isnan(wavelength), centre, wavelength)
+
+    frame_time = t0 + np.arange(n_frames) * meta.dwell_s
+    return TagSnapshots(
+        z=z, valid=valid, wavelength_m=wavelength, frame_time_s=frame_time
+    )

@@ -1,0 +1,71 @@
+"""Experiment drivers reproducing every paper table and figure."""
+
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_table1,
+)
+from repro.eval.harness import (
+    baseline_zoo,
+    clear_cache,
+    eval_baselines,
+    get_dataset,
+    get_raw_samples,
+    train_eval_m2ai,
+)
+from repro.eval.extensions import (
+    EXTENSIONS,
+    run_ext_augmentation,
+    run_ext_hub_coverage,
+    run_ext_realtime,
+    run_ext_transfer,
+)
+from repro.eval.reporting import ExperimentResult, ExperimentRow, bar_chart
+from repro.eval.signal_studies import run_fig02, run_fig03
+
+ALL_EXPERIMENTS = {
+    "fig02": run_fig02,
+    "fig03": run_fig03,
+    **EXPERIMENTS,
+    **EXTENSIONS,
+}
+"""Every experiment driver (paper figures + Section VII extensions)."""
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "ExperimentResult",
+    "ExperimentRow",
+    "bar_chart",
+    "baseline_zoo",
+    "clear_cache",
+    "eval_baselines",
+    "get_dataset",
+    "get_raw_samples",
+    "run_ext_augmentation",
+    "run_ext_hub_coverage",
+    "run_ext_realtime",
+    "run_ext_transfer",
+    "run_fig02",
+    "run_fig03",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_table1",
+    "train_eval_m2ai",
+]

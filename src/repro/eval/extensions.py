@@ -1,0 +1,207 @@
+"""Extension studies beyond the paper's figures (its Section VII).
+
+The paper closes with two deployment questions it leaves open: how the
+model behaves *across* environments (it expects retraining to be
+needed) and how coverage scales with antenna hubs.  These drivers
+quantify both on the simulator, plus two engineering ablations the
+design section calls out.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import M2AIConfig
+from repro.core.pipeline import M2AIPipeline
+from repro.data.generator import GenerationConfig, vary
+from repro.eval.harness import get_dataset, train_eval_m2ai
+from repro.eval.reporting import ExperimentResult, ExperimentRow
+
+
+def _training(quick: bool, seed: int) -> M2AIConfig:
+    import os
+
+    epochs = 40 if quick else 60
+    override = os.environ.get("REPRO_BENCH_EPOCHS")
+    if override:
+        epochs = min(epochs, int(override))
+    return M2AIConfig(epochs=epochs, batch_size=16, seed=seed)
+
+
+def _cfg(quick: bool, seed: int, **overrides) -> GenerationConfig:
+    base = GenerationConfig(
+        samples_per_class=8 if quick else 18,
+        duration_s=6.0,
+        calibration_s=20.0,
+        seed=seed,
+    )
+    return vary(base, **overrides)
+
+
+def run_ext_transfer(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Cross-environment transfer (Section VII, first discussion).
+
+    Train in the laboratory, evaluate (a) in-domain, (b) zero-shot in
+    the hall, (c) in the hall after a short fine-tuning pass on a
+    handful of hall samples.  The paper predicts (b) << (a) — "the
+    model may need to be re-trained for different settings" — and (c)
+    recovering most of the gap.
+    """
+    from dataclasses import replace
+
+    lab = get_dataset(_cfg(quick, seed, environment="laboratory"))
+    hall = get_dataset(_cfg(quick, seed, environment="hall"))
+    # Transfer effects only show once the source model is competent;
+    # this driver keeps a training floor even under the benchmark
+    # suite's trimmed budget (it is only two fits).
+    training = _training(quick, seed)
+    training = replace(training, epochs=max(training.epochs, 30))
+
+    rng = np.random.default_rng(seed)
+    lab_train, lab_test = lab.split(0.2, rng)
+    pipeline = M2AIPipeline(training).fit(lab_train, val=lab_test)
+    in_domain = pipeline.evaluate(lab_test).accuracy
+
+    hall_adapt, hall_test = hall.split(0.5, np.random.default_rng(seed + 1))
+    zero_shot = pipeline.evaluate(hall_test).accuracy
+    pipeline.fine_tune(hall_adapt, epochs=15 if quick else 25)
+    adapted = pipeline.evaluate(hall_test).accuracy
+
+    return ExperimentResult(
+        experiment_id="ext-transfer",
+        title="Cross-environment transfer (Section VII)",
+        rows=[
+            ExperimentRow("lab -> lab (in-domain)", None, in_domain),
+            ExperimentRow("lab -> hall (zero-shot)", None, zero_shot),
+            ExperimentRow("lab -> hall (fine-tuned)", None, adapted),
+        ],
+        notes=(
+            "Paper's expectation: the trained model is environment-"
+            "specific, so zero-shot transfer degrades and a short "
+            "retraining pass recovers accuracy. "
+            f"Measured: {in_domain:.2f} -> {zero_shot:.2f} -> {adapted:.2f}."
+        ),
+    )
+
+
+def run_ext_hub_coverage(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Coverage scaling with antenna hubs (Section VII, second discussion)."""
+    del quick, seed  # geometric study; deterministic and fast
+    from repro.geometry.room import Rectangle, Room
+    from repro.geometry.vec import Vec2
+    from repro.hardware.antenna import UniformLinearArray
+    from repro.hardware.hub import AntennaHub
+
+    warehouse = Room(bounds=Rectangle(0.0, 0.0, 40.0, 25.0), name="warehouse")
+    rng = np.random.default_rng(0)
+    points = np.stack(
+        [rng.uniform(0, 40.0, 4000), rng.uniform(0, 25.0, 4000)], axis=1
+    )
+
+    rows = []
+    placements = {
+        1: [Vec2(20.0, 0.5)],
+        2: [Vec2(10.0, 0.5), Vec2(30.0, 0.5)],
+        4: [Vec2(10.0, 0.5), Vec2(30.0, 0.5), Vec2(10.0, 24.5), Vec2(30.0, 24.5)],
+    }
+    for count, centres in placements.items():
+        hub = AntennaHub(
+            room=warehouse,
+            arrays=tuple(UniformLinearArray(center=c) for c in centres),
+        )
+        coverage = float(hub.coverage_mask(points, max_range_m=12.0).mean())
+        rows.append(
+            ExperimentRow(f"{count} array(s)", None, coverage, unit="coverage")
+        )
+    return ExperimentResult(
+        experiment_id="ext-hub",
+        title="Area coverage with antenna hubs (Section VII)",
+        rows=rows,
+        notes=(
+            "Paper: a single array covers ~12 m of read range; hubs with "
+            "multiple arrays extend coverage.  Fractions are of a "
+            "40 m x 25 m warehouse floor."
+        ),
+    )
+
+
+def run_ext_augmentation(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Ablation: training-time augmentation on vs off."""
+    from dataclasses import replace
+
+    dataset = get_dataset(_cfg(quick, seed))
+    base = _training(quick, seed)
+    with_aug, _ = train_eval_m2ai(
+        dataset, replace(base, augment=True), split_seed=seed
+    )
+    without_aug, _ = train_eval_m2ai(
+        dataset, replace(base, augment=False), split_seed=seed
+    )
+    return ExperimentResult(
+        experiment_id="ext-augment",
+        title="Ablation: training-time augmentation",
+        rows=[
+            ExperimentRow("augmentation on", None, with_aug.accuracy),
+            ExperimentRow("augmentation off", None, without_aug.accuracy),
+        ],
+        notes="Design-section ablation (DESIGN.md section 5/6).",
+    )
+
+
+def run_ext_realtime(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Serving latency: featurise + classify one observation window.
+
+    The paper claims real-time identification; here we measure the
+    full per-window cost on CPU — preprocessing (calibration + MUSIC +
+    periodogram) and network inference — against the 6 s window it
+    must keep up with.
+    """
+    from repro.data.generator import SyntheticDatasetGenerator
+    from repro.eval.harness import get_raw_samples
+
+    cfg = _cfg(quick, seed)
+    raw = get_raw_samples(cfg)[:8]
+    generator = SyntheticDatasetGenerator(cfg)
+    dataset = generator.featurize(raw)
+    training = M2AIConfig(epochs=10, batch_size=8, seed=seed)
+    pipeline = M2AIPipeline(training).fit(dataset)
+
+    t0 = time.perf_counter()
+    for sample in raw:
+        generator.featurize([sample])
+    featurize_s = (time.perf_counter() - t0) / len(raw)
+
+    single = dataset.subset(np.array([0]))
+    t0 = time.perf_counter()
+    for _ in range(20):
+        pipeline.predict(single)
+    infer_s = (time.perf_counter() - t0) / 20.0
+
+    window = cfg.duration_s
+    rows = [
+        ExperimentRow("featurise one window (s)", None, featurize_s, unit="s"),
+        ExperimentRow("network inference (s)", None, infer_s, unit="s"),
+        ExperimentRow(
+            "real-time margin (window / total)",
+            None,
+            window / max(featurize_s + infer_s, 1e-9),
+            unit="x",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext-realtime",
+        title="Serving latency per observation window",
+        rows=rows,
+        notes=f"Window length {window:.0f} s; margin > 1 means real-time on CPU.",
+    )
+
+
+EXTENSIONS = {
+    "ext-transfer": run_ext_transfer,
+    "ext-hub": run_ext_hub_coverage,
+    "ext-augment": run_ext_augmentation,
+    "ext-realtime": run_ext_realtime,
+}
+"""Extension studies, keyed by id."""

@@ -1,0 +1,21 @@
+"""Planar geometry primitives for the indoor propagation model."""
+
+from repro.geometry.room import Room, Scatterer, make_hall, make_laboratory, make_open_space
+from repro.geometry.shapes import WALLS, Circle, Rectangle, Segment, deg2rad, rad2deg
+from repro.geometry.vec import ORIGIN, Vec2
+
+__all__ = [
+    "ORIGIN",
+    "WALLS",
+    "Circle",
+    "Rectangle",
+    "Room",
+    "Scatterer",
+    "Segment",
+    "Vec2",
+    "deg2rad",
+    "make_hall",
+    "make_laboratory",
+    "make_open_space",
+    "rad2deg",
+]

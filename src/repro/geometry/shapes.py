@@ -1,0 +1,160 @@
+"""Planar shapes and intersection predicates.
+
+Path blockage in the channel model reduces to one question: does the
+straight segment between two points pass through a person's body
+(a disc) or a piece of furniture?  The predicates here answer that
+without allocating; they are called in the inner loop of the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.vec import Vec2
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Directed line segment from ``a`` to ``b``."""
+
+    a: Vec2
+    b: Vec2
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Vec2:
+        """Point halfway along the segment."""
+        return self.a.lerp(self.b, 0.5)
+
+    def point_at(self, t: float) -> Vec2:
+        """Point at parameter ``t`` (``0`` -> ``a``, ``1`` -> ``b``)."""
+        return self.a.lerp(self.b, t)
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Shortest distance from ``p`` to any point on the segment."""
+        d = self.b - self.a
+        len_sq = d.norm_sq()
+        if len_sq == 0.0:
+            return self.a.distance_to(p)
+        t = (p - self.a).dot(d) / len_sq
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t).distance_to(p)
+
+    def intersects_circle(self, center: Vec2, radius: float) -> bool:
+        """True when the segment passes through the given disc."""
+        return self.distance_to_point(center) <= radius
+
+    def intersects_segment(self, other: "Segment") -> bool:
+        """True when the two segments share at least one point."""
+        d1 = self.b - self.a
+        d2 = other.b - other.a
+        denom = d1.cross(d2)
+        diff = other.a - self.a
+        if abs(denom) < 1e-12:
+            # Parallel: overlap only if collinear and ranges intersect.
+            if abs(diff.cross(d1)) > 1e-12:
+                return False
+            t0 = diff.dot(d1) / d1.norm_sq() if d1.norm_sq() > 0 else 0.0
+            t1 = t0 + d2.dot(d1) / d1.norm_sq() if d1.norm_sq() > 0 else t0
+            lo, hi = min(t0, t1), max(t0, t1)
+            return hi >= 0.0 and lo <= 1.0
+        t = diff.cross(d2) / denom
+        u = diff.cross(d1) / denom
+        return 0.0 <= t <= 1.0 and 0.0 <= u <= 1.0
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A disc: person torso cross-section or a round scatterer."""
+
+    center: Vec2
+    radius: float
+
+    def contains(self, p: Vec2) -> bool:
+        """True when ``p`` lies inside or on the circle."""
+        return self.center.distance_to(p) <= self.radius
+
+    def blocks(self, seg: Segment) -> bool:
+        """True when ``seg`` crosses the disc."""
+        return seg.intersects_circle(self.center, self.radius)
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """Axis-aligned rectangle ``[x0, x1] x [y0, y1]``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError("rectangle must satisfy x0 <= x1 and y0 <= y1")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    def center(self) -> Vec2:
+        return Vec2((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, p: Vec2, margin: float = 0.0) -> bool:
+        """True when ``p`` lies inside, at least ``margin`` from every wall."""
+        return (
+            self.x0 + margin <= p.x <= self.x1 - margin
+            and self.y0 + margin <= p.y <= self.y1 - margin
+        )
+
+    def clamp(self, p: Vec2, margin: float = 0.0) -> Vec2:
+        """The nearest point to ``p`` inside the rectangle (with margin)."""
+        return Vec2(
+            min(max(p.x, self.x0 + margin), self.x1 - margin),
+            min(max(p.y, self.y0 + margin), self.y1 - margin),
+        )
+
+    def mirror(self, p: Vec2, wall: str) -> Vec2:
+        """Image of ``p`` reflected across one wall.
+
+        The image-source method replaces a single wall reflection by a
+        straight path from the mirrored source.
+
+        Args:
+            p: source point.
+            wall: one of ``"left"``, ``"right"``, ``"bottom"``, ``"top"``.
+
+        Returns:
+            The mirrored point.
+
+        Raises:
+            ValueError: for an unknown wall name.
+        """
+        if wall == "left":
+            return Vec2(2.0 * self.x0 - p.x, p.y)
+        if wall == "right":
+            return Vec2(2.0 * self.x1 - p.x, p.y)
+        if wall == "bottom":
+            return Vec2(p.x, 2.0 * self.y0 - p.y)
+        if wall == "top":
+            return Vec2(p.x, 2.0 * self.y1 - p.y)
+        raise ValueError(f"unknown wall {wall!r}")
+
+
+WALLS = ("left", "right", "bottom", "top")
+
+
+def deg2rad(deg: float) -> float:
+    """Degrees to radians."""
+    return deg * math.pi / 180.0
+
+
+def rad2deg(rad: float) -> float:
+    """Radians to degrees."""
+    return rad * 180.0 / math.pi

@@ -1,0 +1,95 @@
+"""2-D vector primitives used throughout the simulator.
+
+The M2AI scenario is planar for the purposes of angle-of-arrival: the
+reader antennas form a horizontal uniform linear array and the paper's
+pseudospectrum spans the 0-180 degree azimuth.  All propagation geometry
+is therefore expressed with :class:`Vec2`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """An immutable 2-D point / vector with float components."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, k: float) -> "Vec2":
+        return Vec2(self.x * k, self.y * k)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k: float) -> "Vec2":
+        return Vec2(self.x / k, self.y / k)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        """Scalar product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (cheaper than ``norm()**2``)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: if the vector has zero length.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def rotated(self, angle_rad: float) -> "Vec2":
+        """Vector rotated counter-clockwise by ``angle_rad`` radians."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def angle(self) -> float:
+        """Polar angle in radians, in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    def perp(self) -> "Vec2":
+        """The vector rotated by +90 degrees."""
+        return Vec2(-self.y, self.x)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: ``self`` at ``t=0``, ``other`` at ``t=1``."""
+        return Vec2(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(x, y)`` tuple, convenient for numpy interop."""
+        return (self.x, self.y)
+
+
+ORIGIN = Vec2(0.0, 0.0)

@@ -1,0 +1,32 @@
+"""Simulated RFID hardware: tags, antenna array, hopping, reader, LLRP."""
+
+from repro.hardware.antenna import DEFAULT_SPACING_M, DEFAULT_WAVELENGTH_M, UniformLinearArray
+from repro.hardware.hopping import REFERENCE_FREQ_MHZ, FrequencyHopper
+from repro.hardware.llrp import ReaderMeta, ReadLog, concatenate_logs
+from repro.hardware.reader import Reader, ReaderConfig
+from repro.hardware.hub import AntennaHub, merge_hub_features
+from repro.hardware.scene import Scene, TagTrack, stationary_scene
+from repro.hardware.trace_io import dump_csv, load_csv
+from repro.hardware.tag import Tag, make_tag
+
+__all__ = [
+    "AntennaHub",
+    "DEFAULT_SPACING_M",
+    "DEFAULT_WAVELENGTH_M",
+    "REFERENCE_FREQ_MHZ",
+    "FrequencyHopper",
+    "Reader",
+    "ReaderConfig",
+    "ReaderMeta",
+    "ReadLog",
+    "Scene",
+    "Tag",
+    "TagTrack",
+    "UniformLinearArray",
+    "concatenate_logs",
+    "dump_csv",
+    "load_csv",
+    "make_tag",
+    "merge_hub_features",
+    "stationary_scene",
+]

@@ -1,0 +1,95 @@
+"""FCC frequency hopping of a commercial UHF reader.
+
+FCC part 15 requires readers in the 902-928 MHz band to hop across at
+least 50 channels.  The Impinj Speedway R420 used by the paper hops
+between 902.75 and 927.25 MHz in 500 kHz steps with a 400 ms dwell per
+channel (Section V); the paper's common reference channel is
+910.25 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.params import SPEED_OF_LIGHT
+
+DEFAULT_BASE_MHZ = 902.75
+DEFAULT_STEP_MHZ = 0.5
+DEFAULT_N_CHANNELS = 50
+DEFAULT_DWELL_S = 0.4
+REFERENCE_FREQ_MHZ = 910.25
+
+
+@dataclass
+class FrequencyHopper:
+    """Pseudo-random channel hop schedule.
+
+    Each *dwell* (400 ms by default) the reader jumps to the next
+    channel of a random permutation; a fresh permutation is drawn every
+    cycle through the 50 channels, as real readers do.
+
+    Attributes:
+        dwell_s: seconds spent on each channel.
+        base_mhz: lowest channel centre frequency.
+        step_mhz: channel spacing.
+        n_channels: number of channels.
+        rng: generator that fixes the hop order.
+    """
+
+    dwell_s: float = DEFAULT_DWELL_S
+    base_mhz: float = DEFAULT_BASE_MHZ
+    step_mhz: float = DEFAULT_STEP_MHZ
+    n_channels: int = DEFAULT_N_CHANNELS
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ValueError("need at least one channel")
+        if self.dwell_s <= 0:
+            raise ValueError("dwell_s must be positive")
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Centre frequency of every channel, Hz, ``(n_channels,)``."""
+        idx = np.arange(self.n_channels)
+        return (self.base_mhz + idx * self.step_mhz) * 1e6
+
+    @property
+    def reference_channel(self) -> int:
+        """Index of the channel closest to 910.25 MHz (paper default)."""
+        return int(np.argmin(np.abs(self.frequencies_hz - REFERENCE_FREQ_MHZ * 1e6)))
+
+    def wavelength(self, channel: int | np.ndarray) -> np.ndarray:
+        """Carrier wavelength(s) in metres for channel index(es)."""
+        freq = self.frequencies_hz[np.asarray(channel)]
+        return SPEED_OF_LIGHT / freq
+
+    def hop_sequence(self, n_dwells: int) -> np.ndarray:
+        """Channel index for each of ``n_dwells`` consecutive dwells.
+
+        Concatenates fresh random permutations until the requested
+        length is reached, so every channel is visited once per cycle.
+        """
+        if n_dwells < 0:
+            raise ValueError("n_dwells must be non-negative")
+        chunks: list[np.ndarray] = []
+        total = 0
+        while total < n_dwells:
+            perm = self.rng.permutation(self.n_channels)
+            chunks.append(perm)
+            total += perm.size
+        return np.concatenate(chunks)[:n_dwells] if chunks else np.zeros(0, dtype=int)
+
+    def channels_for_slots(self, n_slots: int, slot_s: float) -> np.ndarray:
+        """Channel index per TDM slot, ``(n_slots,)``.
+
+        Args:
+            n_slots: number of inventory slots.
+            slot_s: slot duration in seconds (25 ms on the R420).
+        """
+        slots_per_dwell = max(1, int(round(self.dwell_s / slot_s)))
+        n_dwells = (n_slots + slots_per_dwell - 1) // slots_per_dwell
+        seq = self.hop_sequence(n_dwells)
+        return np.repeat(seq, slots_per_dwell)[:n_slots]

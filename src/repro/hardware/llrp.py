@@ -1,0 +1,144 @@
+"""LLRP-style tag report stream.
+
+The Low Level Reader Protocol gives clients per-read records carrying
+EPC, antenna port, channel, timestamp, phase and RSSI.  The simulator
+emits the same stream as a struct-of-arrays container, which is what
+the preprocessing stage consumes — the code path is identical to one
+fed by a real Speedway R420 through Octane/LLRP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReaderMeta:
+    """Static facts about the reader session attached to every log.
+
+    Attributes:
+        n_antennas: number of array elements.
+        slot_s: TDM slot duration (25 ms on the R420).
+        dwell_s: frequency-hop dwell (400 ms).
+        spacing_m: array element spacing.
+        frequencies_hz: channel table, ``(n_channels,)``.
+        reference_channel: index of the calibration reference channel.
+    """
+
+    n_antennas: int
+    slot_s: float
+    dwell_s: float
+    spacing_m: float
+    frequencies_hz: np.ndarray
+    reference_channel: int
+
+
+@dataclass
+class ReadLog:
+    """A batch of tag reads (struct-of-arrays).
+
+    All per-read arrays share length ``R`` and are index-aligned.
+
+    Attributes:
+        epcs: EPC string for each tag index.
+        tag_index: ``(R,)`` index into ``epcs``.
+        antenna: ``(R,)`` antenna port, 0-based.
+        channel: ``(R,)`` hop-channel index.
+        frequency_hz: ``(R,)`` carrier frequency of the read.
+        timestamp_s: ``(R,)`` read time.
+        phase_rad: ``(R,)`` reported phase in ``[0, 2*pi)`` — includes
+            hopping offsets and the R420's pi ambiguity, exactly like
+            the real hardware.
+        rssi_dbm: ``(R,)`` reported signal strength.
+        meta: session facts.
+    """
+
+    epcs: tuple[str, ...]
+    tag_index: np.ndarray
+    antenna: np.ndarray
+    channel: np.ndarray
+    frequency_hz: np.ndarray
+    timestamp_s: np.ndarray
+    phase_rad: np.ndarray
+    rssi_dbm: np.ndarray
+    meta: ReaderMeta
+    _per_tag_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        length = len(self.tag_index)
+        for name in ("antenna", "channel", "frequency_hz", "timestamp_s", "phase_rad", "rssi_dbm"):
+            if len(getattr(self, name)) != length:
+                raise ValueError(f"array {name!r} length mismatch")
+
+    @property
+    def n_reads(self) -> int:
+        """Total number of reads in the log."""
+        return int(len(self.tag_index))
+
+    @property
+    def n_tags(self) -> int:
+        """Number of distinct tags the log covers."""
+        return len(self.epcs)
+
+    @property
+    def duration_s(self) -> float:
+        """Time span between first and last read."""
+        if self.n_reads == 0:
+            return 0.0
+        return float(self.timestamp_s.max() - self.timestamp_s.min())
+
+    def for_tag(self, tag_index: int) -> "ReadLog":
+        """Sub-log containing only reads of one tag (cached)."""
+        if tag_index not in self._per_tag_cache:
+            self._per_tag_cache[tag_index] = self.select(self.tag_index == tag_index)
+        return self._per_tag_cache[tag_index]
+
+    def select(self, mask: np.ndarray) -> "ReadLog":
+        """Sub-log of reads where ``mask`` is True."""
+        return ReadLog(
+            epcs=self.epcs,
+            tag_index=self.tag_index[mask],
+            antenna=self.antenna[mask],
+            channel=self.channel[mask],
+            frequency_hz=self.frequency_hz[mask],
+            timestamp_s=self.timestamp_s[mask],
+            phase_rad=self.phase_rad[mask],
+            rssi_dbm=self.rssi_dbm[mask],
+            meta=self.meta,
+        )
+
+    def read_rate_hz(self, tag_index: int) -> float:
+        """Average reads/second for one tag (0 when unseen)."""
+        sub = self.for_tag(tag_index)
+        if sub.n_reads < 2:
+            return 0.0
+        return sub.n_reads / max(sub.duration_s, 1e-9)
+
+
+def concatenate_logs(logs: list[ReadLog]) -> ReadLog:
+    """Concatenate logs from the same session (same epcs and meta).
+
+    Raises:
+        ValueError: when the logs disagree on tags or session metadata.
+    """
+    if not logs:
+        raise ValueError("need at least one log")
+    first = logs[0]
+    for log in logs[1:]:
+        if log.epcs != first.epcs:
+            raise ValueError("cannot concatenate logs with different tag sets")
+        if log.meta.n_antennas != first.meta.n_antennas:
+            raise ValueError("cannot concatenate logs with different readers")
+    return ReadLog(
+        epcs=first.epcs,
+        tag_index=np.concatenate([log.tag_index for log in logs]),
+        antenna=np.concatenate([log.antenna for log in logs]),
+        channel=np.concatenate([log.channel for log in logs]),
+        frequency_hz=np.concatenate([log.frequency_hz for log in logs]),
+        timestamp_s=np.concatenate([log.timestamp_s for log in logs]),
+        phase_rad=np.concatenate([log.phase_rad for log in logs]),
+        rssi_dbm=np.concatenate([log.rssi_dbm for log in logs]),
+        meta=first.meta,
+    )

@@ -1,0 +1,79 @@
+"""Passive UHF tag model.
+
+A tag contributes two measurement artifacts on top of the propagation
+channel, both observed in the paper (Fig. 3) and in [18]:
+
+* a frequency-dependent phase response of its antenna, well modelled
+  as linear in carrier frequency plus small per-channel deviations;
+* it is the *combination* of this response with the reader oscillator
+  offset that phase calibration (Eq. 1) has to remove.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def stable_seed(*parts: object) -> int:
+    """A process-independent 32-bit seed from arbitrary parts.
+
+    Python's built-in ``hash`` of strings is randomised per process
+    (PYTHONHASHSEED), which would make simulations unrepeatable across
+    runs; CRC32 over the repr is stable everywhere.
+    """
+    return zlib.crc32("|".join(repr(p) for p in parts).encode())
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One Impinj-style passive tag.
+
+    Attributes:
+        epc: unique electronic product code string.
+        phase_slope_rad_per_mhz: slope of the tag antenna's phase
+            response across the band.
+        phase_intercept_rad: phase response at the band edge.
+        channel_jitter_rad: per-channel deviation from the linear model
+            (drawn deterministically from ``epc``).
+    """
+
+    epc: str
+    phase_slope_rad_per_mhz: float = 0.12
+    phase_intercept_rad: float = 0.0
+    channel_jitter_rad: float = 0.03
+
+    def phase_offsets(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Tag-induced phase offset per channel, radians.
+
+        Deterministic in ``epc`` so repeated inventories of the same
+        tag see the same response (required for calibration to work,
+        and true of real hardware).
+
+        Args:
+            frequencies_hz: channel centre frequencies.
+
+        Returns:
+            Offsets, same shape as ``frequencies_hz``.
+        """
+        freqs = np.asarray(frequencies_hz, dtype=np.float64)
+        base_mhz = freqs.min() / 1e6
+        linear = (
+            self.phase_intercept_rad
+            + self.phase_slope_rad_per_mhz * (freqs / 1e6 - base_mhz)
+        )
+        rng = np.random.default_rng(stable_seed("tag-jitter", self.epc))
+        jitter = rng.normal(0.0, self.channel_jitter_rad, freqs.shape)
+        return linear + jitter
+
+
+def make_tag(epc: str, rng: np.random.Generator) -> Tag:
+    """Draw a tag with a randomised (but then fixed) phase response."""
+    return Tag(
+        epc=epc,
+        phase_slope_rad_per_mhz=float(rng.uniform(0.05, 0.25)),
+        phase_intercept_rad=float(rng.uniform(0.0, 2.0 * np.pi)),
+        channel_jitter_rad=float(rng.uniform(0.01, 0.05)),
+    )

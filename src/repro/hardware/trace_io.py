@@ -1,0 +1,138 @@
+"""Read-log import/export: the bridge to real hardware.
+
+A deployment that owns an Impinj reader can log per-read records
+(EPC, antenna port, channel, timestamp, phase, RSSI) with Octane/LLRP
+and feed them straight into this library: the CSV schema here is the
+flat rendering of :class:`~repro.hardware.llrp.ReadLog`, and the
+loader reconstructs a log the preprocessing stack consumes unchanged.
+Simulated logs export through the same path, so golden traces can be
+versioned, diffed and replayed.
+
+Schema (one header line, then one row per read)::
+
+    epc,antenna,channel,frequency_hz,timestamp_s,phase_rad,rssi_dbm
+
+Session metadata travels in ``#``-prefixed header comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.hardware.llrp import ReaderMeta, ReadLog
+
+_COLUMNS = ("epc", "antenna", "channel", "frequency_hz", "timestamp_s", "phase_rad", "rssi_dbm")
+
+
+def dump_csv(log: ReadLog, path: str | Path | io.TextIOBase) -> None:
+    """Write a read log (with session metadata) as CSV.
+
+    Args:
+        log: the log to export.
+        path: file path or open text handle.
+    """
+    own = isinstance(path, (str, Path))
+    handle: io.TextIOBase = open(path, "w") if own else path  # type: ignore[assignment]
+    try:
+        meta = log.meta
+        handle.write(f"# n_antennas={meta.n_antennas}\n")
+        handle.write(f"# slot_s={meta.slot_s!r}\n")
+        handle.write(f"# dwell_s={meta.dwell_s!r}\n")
+        handle.write(f"# spacing_m={meta.spacing_m!r}\n")
+        handle.write(f"# reference_channel={meta.reference_channel}\n")
+        freqs = ",".join(repr(float(f)) for f in meta.frequencies_hz)
+        handle.write(f"# frequencies_hz={freqs}\n")
+        handle.write(",".join(_COLUMNS) + "\n")
+        for i in range(log.n_reads):
+            handle.write(
+                f"{log.epcs[log.tag_index[i]]},{int(log.antenna[i])},"
+                f"{int(log.channel[i])},{float(log.frequency_hz[i])!r},"
+                f"{float(log.timestamp_s[i])!r},{float(log.phase_rad[i])!r},"
+                f"{float(log.rssi_dbm[i])!r}\n"
+            )
+    finally:
+        if own:
+            handle.close()
+
+
+def load_csv(path: str | Path | io.TextIOBase) -> ReadLog:
+    """Load a read log written by :func:`dump_csv` (or a real reader).
+
+    Unknown EPCs are assigned tag indices in first-appearance order.
+
+    Raises:
+        ValueError: on a malformed header or row.
+    """
+    own = isinstance(path, (str, Path))
+    handle: io.TextIOBase = open(path, "r") if own else path  # type: ignore[assignment]
+    try:
+        meta_fields: dict[str, str] = {}
+        header: list[str] | None = None
+        rows: list[tuple] = []
+        epcs: list[str] = []
+        index_of: dict[str, int] = {}
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                key, _, value = line[1:].strip().partition("=")
+                meta_fields[key.strip()] = value
+                continue
+            if header is None:
+                header = [c.strip() for c in line.split(",")]
+                if tuple(header) != _COLUMNS:
+                    raise ValueError(f"unexpected CSV columns: {header}")
+                continue
+            parts = line.split(",")
+            if len(parts) != len(_COLUMNS):
+                raise ValueError(f"malformed row: {line!r}")
+            epc = parts[0]
+            if epc not in index_of:
+                index_of[epc] = len(epcs)
+                epcs.append(epc)
+            rows.append(
+                (
+                    index_of[epc],
+                    int(parts[1]),
+                    int(parts[2]),
+                    float(parts[3]),
+                    float(parts[4]),
+                    float(parts[5]),
+                    float(parts[6]),
+                )
+            )
+        if header is None:
+            raise ValueError("no header line found")
+        required = {"n_antennas", "slot_s", "dwell_s", "spacing_m", "reference_channel", "frequencies_hz"}
+        missing = required - set(meta_fields)
+        if missing:
+            raise ValueError(f"missing metadata comments: {sorted(missing)}")
+        meta = ReaderMeta(
+            n_antennas=int(meta_fields["n_antennas"]),
+            slot_s=float(meta_fields["slot_s"]),
+            dwell_s=float(meta_fields["dwell_s"]),
+            spacing_m=float(meta_fields["spacing_m"]),
+            frequencies_hz=np.array(
+                [float(v) for v in meta_fields["frequencies_hz"].split(",")]
+            ),
+            reference_channel=int(meta_fields["reference_channel"]),
+        )
+        arr = np.array(rows, dtype=np.float64) if rows else np.zeros((0, 7))
+        return ReadLog(
+            epcs=tuple(epcs),
+            tag_index=arr[:, 0].astype(np.int64),
+            antenna=arr[:, 1].astype(np.int64),
+            channel=arr[:, 2].astype(np.int64),
+            frequency_hz=arr[:, 3],
+            timestamp_s=arr[:, 4],
+            phase_rad=arr[:, 5],
+            rssi_dbm=arr[:, 6],
+            meta=meta,
+        )
+    finally:
+        if own:
+            handle.close()

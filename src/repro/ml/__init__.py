@@ -1,0 +1,47 @@
+"""From-scratch classical ML: the ten Fig. 9 baselines plus the HMM."""
+
+from repro.ml.base import Classifier, LabelEncoder, validate_xy
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.decomposition import PCA
+from repro.ml.discriminant import QuadraticDiscriminantAnalysis
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gaussian_process import GaussianProcessClassifier
+from repro.ml.hmm import GaussianHMM, HMMActivityClassifier
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.ml.model_selection import cross_val_score, stratified_kfold, train_test_split
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVM, RbfSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "AdaBoostClassifier",
+    "Classifier",
+    "ConfusionMatrix",
+    "DecisionTreeClassifier",
+    "GaussianHMM",
+    "GaussianNB",
+    "GaussianProcessClassifier",
+    "HMMActivityClassifier",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "LinearSVM",
+    "PCA",
+    "QuadraticDiscriminantAnalysis",
+    "RandomForestClassifier",
+    "RbfSVM",
+    "StandardScaler",
+    "accuracy",
+    "confusion_matrix",
+    "cross_val_score",
+    "precision_recall_f1",
+    "stratified_kfold",
+    "train_test_split",
+    "validate_xy",
+]

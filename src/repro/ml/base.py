@@ -1,0 +1,85 @@
+"""Shared plumbing for the classical baselines.
+
+Fig. 9 compares M2AI against ten conventional classifiers; scikit-learn
+is not available here, so :mod:`repro.ml` implements each from scratch
+behind one small interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to dense integer ids."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, labels: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.array(sorted(set(np.asarray(labels).tolist())))
+        return self
+
+    def transform(self, labels: np.ndarray) -> np.ndarray:
+        """Labels to ids.
+
+        Raises:
+            RuntimeError: when not fitted.
+            ValueError: for a label unseen at fit time.
+        """
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder not fitted")
+        lookup = {c: i for i, c in enumerate(self.classes_.tolist())}
+        try:
+            return np.array([lookup[label] for label in np.asarray(labels).tolist()])
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, labels: np.ndarray) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse(self, ids: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder not fitted")
+        return self.classes_[np.asarray(ids)]
+
+    @property
+    def n_classes(self) -> int:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder not fitted")
+        return len(self.classes_)
+
+
+class Classifier(ABC):
+    """Interface every baseline implements."""
+
+    @abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on features ``(n, d)`` and labels ``(n,)``."""
+
+    @abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict labels for features ``(n, d)``."""
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on the given data."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+
+def validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Common input checks: 2-D features aligned with 1-D labels.
+
+    Raises:
+        ValueError: on empty or misaligned inputs.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y)
+    if x.ndim != 2:
+        raise ValueError(f"features must be 2-D, got {x.shape}")
+    if y.ndim != 1 or len(y) != len(x):
+        raise ValueError("labels must be 1-D and aligned with features")
+    if len(x) == 0:
+        raise ValueError("empty training set")
+    return x, y

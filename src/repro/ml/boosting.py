@@ -1,0 +1,94 @@
+"""AdaBoost (Fig. 9's "Adaptive Boosting"): SAMME over shallow trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, LabelEncoder, validate_xy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class AdaBoostClassifier(Classifier):
+    """Multi-class AdaBoost (SAMME) with depth-limited CART learners.
+
+    Args:
+        n_estimators: boosting rounds.
+        max_depth: base-learner depth (1 = stumps).
+        learning_rate: shrinkage on each round's vote weight.
+        max_features: per-split feature budget of the base learners
+            (``"sqrt"`` keeps wide spectrum features tractable).
+        rng: weighted-resampling randomness.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        max_depth: int = 1,
+        learning_rate: float = 1.0,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._encoder = LabelEncoder()
+        self._learners: list[DecisionTreeClassifier] = []
+        self._votes: list[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        x, y = validate_xy(x, y)
+        self._encoder.fit(y)
+        k = self._encoder.n_classes
+        n = len(x)
+        weights = np.full(n, 1.0 / n)
+        self._learners, self._votes = [], []
+        for _round in range(self.n_estimators):
+            # Weighted fitting via resampling keeps the base learner
+            # weight-agnostic.
+            idx = self.rng.choice(n, size=n, p=weights)
+            learner = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=self.max_features,
+                rng=np.random.default_rng(self.rng.integers(2**31)),
+            )
+            learner.fit(x[idx], y[idx])
+            pred = learner.predict(x)
+            miss = pred != y
+            err = float(np.sum(weights[miss]))
+            err = min(max(err, 1e-10), 1.0 - 1e-10)
+            if err >= 1.0 - 1.0 / k:
+                # Worse than chance: skip this round.
+                continue
+            vote = self.learning_rate * (np.log((1.0 - err) / err) + np.log(k - 1.0))
+            weights = weights * np.exp(vote * miss)
+            weights = weights / weights.sum()
+            self._learners.append(learner)
+            self._votes.append(vote)
+            if err < 1e-9:
+                break
+        if not self._learners:
+            # Degenerate data: fall back to a single unweighted tree.
+            learner = DecisionTreeClassifier(max_depth=self.max_depth)
+            learner.fit(x, y)
+            self._learners = [learner]
+            self._votes = [1.0]
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._learners:
+            raise RuntimeError("classifier not fitted")
+        classes = self._encoder.classes_
+        assert classes is not None
+        col = {c: i for i, c in enumerate(classes.tolist())}
+        scores = np.zeros((len(x), len(classes)))
+        for learner, vote in zip(self._learners, self._votes):
+            pred = learner.predict(x)
+            for row, label in enumerate(pred.tolist()):
+                scores[row, col[label]] += vote
+        return classes[scores.argmax(axis=1)]

@@ -1,0 +1,61 @@
+"""Principal component analysis (used to feed compact features to the
+HMM baseline and available for general use)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """SVD-based PCA.
+
+    Args:
+        n_components: dimensions to keep (capped at ``min(n, d)``).
+    """
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or len(x) == 0:
+            raise ValueError("expected non-empty (n, d) features")
+        self.mean_ = x.mean(axis=0)
+        centred = x - self.mean_
+        n, d = centred.shape
+        k = min(self.n_components, n, d)
+        if d <= max(n, 512):
+            _u, s, vt = np.linalg.svd(centred, full_matrices=False)
+            components = vt[:k]
+            singular = s[:k]
+        else:
+            # Wide data (d >> n): the economy SVD is O(n^2 d) through the
+            # Gram matrix, not O(d^2 n) — essential for spectrum frames
+            # where d runs into the tens of thousands.
+            gram = centred @ centred.T
+            eigvals, eigvecs = np.linalg.eigh(gram)
+            order = np.argsort(eigvals)[::-1][:k]
+            eigvals = np.maximum(eigvals[order], 1e-30)
+            singular = np.sqrt(eigvals)
+            components = (centred.T @ eigvecs[:, order] / singular).T
+        self.components_ = components
+        self.explained_variance_ = (singular**2) / max(n - 1, 1)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.components_ is None:
+            raise RuntimeError("PCA not fitted")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.components_ is None:
+            raise RuntimeError("PCA not fitted")
+        return np.asarray(z) @ self.components_ + self.mean_

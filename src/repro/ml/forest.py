@@ -1,0 +1,79 @@
+"""Random forest (Fig. 9 baseline): bagged CART trees with feature
+subsampling, soft-vote aggregated."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, LabelEncoder, validate_xy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees.
+
+    Args:
+        n_estimators: number of trees.
+        max_depth: per-tree depth cap.
+        max_features: per-split feature budget (default ``"sqrt"``).
+        rng: bootstrap and split randomness.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = 12,
+        max_features: int | str | None = "sqrt",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._encoder = LabelEncoder()
+        self._trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x, y = validate_xy(x, y)
+        self._encoder.fit(y)
+        self._trees = []
+        n = len(x)
+        for _ in range(self.n_estimators):
+            idx = self.rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=self.max_features,
+                rng=np.random.default_rng(self.rng.integers(2**31)),
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Forest-averaged class distribution, ``(n, k)``.
+
+        Trees may have seen different class subsets in their bootstrap
+        samples, so per-tree probabilities are re-aligned onto the
+        forest's global class ordering before averaging.
+        """
+        if not self._trees:
+            raise RuntimeError("classifier not fitted")
+        classes = self._encoder.classes_
+        assert classes is not None
+        total = np.zeros((len(x), len(classes)))
+        for tree in self._trees:
+            probs = tree.predict_proba(x)
+            tree_classes = tree._encoder.classes_
+            assert tree_classes is not None
+            col = {c: i for i, c in enumerate(classes.tolist())}
+            for j, cls in enumerate(tree_classes.tolist()):
+                total[:, col[cls]] += probs[:, j]
+        return total / len(self._trees)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(x)
+        classes = self._encoder.classes_
+        assert classes is not None
+        return classes[proba.argmax(axis=1)]

@@ -1,0 +1,250 @@
+"""Hidden Markov model baseline.
+
+The paper's related work (FEMO [10]) models RFID activity streams with
+HMMs; the introduction argues HMMs underperform because good features
+and transition rules are hard to hand-pick in the multipath,
+multi-object mixture.  This module provides a diagonal-Gaussian HMM
+trained with Baum-Welch and a per-class likelihood classifier so the
+claim can be tested quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, LabelEncoder
+from repro.ml.decomposition import PCA
+
+_LOG_EPS = -1e30
+
+
+def _logsumexp(a: np.ndarray, axis: int | None = None) -> np.ndarray:
+    peak = np.max(a, axis=axis, keepdims=True)
+    peak = np.where(np.isfinite(peak), peak, 0.0)
+    out = np.log(np.sum(np.exp(a - peak), axis=axis, keepdims=True)) + peak
+    return np.squeeze(out, axis=axis) if axis is not None else float(np.squeeze(out))
+
+
+class GaussianHMM:
+    """HMM with diagonal Gaussian emissions, trained by Baum-Welch.
+
+    Args:
+        n_states: hidden state count.
+        n_iter: EM iterations.
+        rng: initialisation randomness.
+        reg: variance floor, as a fraction of the data variance.
+    """
+
+    def __init__(
+        self,
+        n_states: int = 4,
+        n_iter: int = 15,
+        rng: np.random.Generator | None = None,
+        reg: float = 1e-2,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError("n_states must be >= 1")
+        self.n_states = n_states
+        self.n_iter = n_iter
+        self.rng = rng or np.random.default_rng(0)
+        self.reg = reg
+        self.log_start: np.ndarray | None = None
+        self.log_trans: np.ndarray | None = None
+        self.means: np.ndarray | None = None
+        self.vars: np.ndarray | None = None
+
+    def fit(self, sequences: list[np.ndarray]) -> "GaussianHMM":
+        """Train on a list of ``(T_i, D)`` observation sequences."""
+        if not sequences:
+            raise ValueError("need at least one sequence")
+        stacked = np.concatenate(sequences, axis=0)
+        d = stacked.shape[1]
+        s = self.n_states
+        floor = self.reg * float(stacked.var() or 1.0)
+
+        # Initialise emissions from randomly assigned segments.
+        assignment = self.rng.integers(0, s, size=len(stacked))
+        self.means = np.stack(
+            [
+                stacked[assignment == k].mean(axis=0)
+                if (assignment == k).any()
+                else stacked[self.rng.integers(len(stacked))]
+                for k in range(s)
+            ]
+        )
+        self.vars = np.full((s, d), float(stacked.var(axis=0).mean()) + floor)
+        self.log_start = np.log(np.full(s, 1.0 / s))
+        trans = np.full((s, s), 0.1 / max(s - 1, 1)) + np.eye(s) * 0.9
+        self.log_trans = np.log(trans / trans.sum(axis=1, keepdims=True))
+
+        for _iteration in range(self.n_iter):
+            start_acc = np.zeros(s)
+            trans_acc = np.zeros((s, s))
+            mean_acc = np.zeros((s, d))
+            sq_acc = np.zeros((s, d))
+            weight_acc = np.zeros(s)
+            for seq in sequences:
+                log_b = self._log_emission(seq)
+                log_alpha = self._forward(log_b)
+                log_beta = self._backward(log_b)
+                log_gamma = log_alpha + log_beta
+                log_gamma -= _logsumexp(log_gamma[-1])
+                gamma = np.exp(log_gamma)
+                start_acc += gamma[0]
+                if len(seq) > 1:
+                    for t in range(len(seq) - 1):
+                        log_xi = (
+                            log_alpha[t][:, None]
+                            + self.log_trans
+                            + log_b[t + 1][None, :]
+                            + log_beta[t + 1][None, :]
+                        )
+                        log_xi -= _logsumexp(log_xi)
+                        trans_acc += np.exp(log_xi)
+                weight_acc += gamma.sum(axis=0)
+                mean_acc += gamma.T @ seq
+                sq_acc += gamma.T @ (seq**2)
+            weights = np.maximum(weight_acc, 1e-12)[:, None]
+            self.means = mean_acc / weights
+            self.vars = np.maximum(sq_acc / weights - self.means**2, floor)
+            self.log_start = np.log(
+                np.maximum(start_acc / start_acc.sum(), 1e-12)
+            )
+            rows = np.maximum(trans_acc.sum(axis=1, keepdims=True), 1e-12)
+            self.log_trans = np.log(np.maximum(trans_acc / rows, 1e-12))
+        return self
+
+    def score(self, seq: np.ndarray) -> float:
+        """Log-likelihood of one ``(T, D)`` sequence."""
+        if self.means is None:
+            raise RuntimeError("HMM not fitted")
+        log_b = self._log_emission(np.asarray(seq, dtype=np.float64))
+        return float(_logsumexp(self._forward(log_b)[-1]))
+
+    def viterbi(self, seq: np.ndarray) -> np.ndarray:
+        """Most likely hidden-state path for one sequence."""
+        if self.means is None or self.log_start is None or self.log_trans is None:
+            raise RuntimeError("HMM not fitted")
+        log_b = self._log_emission(np.asarray(seq, dtype=np.float64))
+        steps, s = log_b.shape
+        delta = self.log_start + log_b[0]
+        back = np.zeros((steps, s), dtype=int)
+        for t in range(1, steps):
+            scores = delta[:, None] + self.log_trans
+            back[t] = scores.argmax(axis=0)
+            delta = scores.max(axis=0) + log_b[t]
+        path = np.zeros(steps, dtype=int)
+        path[-1] = int(delta.argmax())
+        for t in range(steps - 2, -1, -1):
+            path[t] = back[t + 1, path[t + 1]]
+        return path
+
+    def _log_emission(self, seq: np.ndarray) -> np.ndarray:
+        assert self.means is not None and self.vars is not None
+        diff = seq[:, None, :] - self.means[None, :, :]
+        return -0.5 * np.sum(
+            np.log(2.0 * np.pi * self.vars)[None] + diff**2 / self.vars[None],
+            axis=2,
+        )
+
+    def _forward(self, log_b: np.ndarray) -> np.ndarray:
+        assert self.log_start is not None and self.log_trans is not None
+        steps, s = log_b.shape
+        alpha = np.full((steps, s), _LOG_EPS)
+        alpha[0] = self.log_start + log_b[0]
+        for t in range(1, steps):
+            alpha[t] = log_b[t] + _logsumexp(
+                alpha[t - 1][:, None] + self.log_trans, axis=0
+            )
+        return alpha
+
+    def _backward(self, log_b: np.ndarray) -> np.ndarray:
+        assert self.log_trans is not None
+        steps, s = log_b.shape
+        beta = np.zeros((steps, s))
+        for t in range(steps - 2, -1, -1):
+            beta[t] = _logsumexp(
+                self.log_trans + (log_b[t + 1] + beta[t + 1])[None, :], axis=1
+            )
+        return beta
+
+
+class HMMActivityClassifier(Classifier):
+    """Per-class HMMs over PCA-reduced frame sequences.
+
+    The prior-work baseline: one :class:`GaussianHMM` per activity,
+    classified by maximum sequence likelihood.  Accepts either flat
+    features (reshaped using ``n_frames``) or ``(n, T, D)`` sequences.
+
+    Args:
+        n_states: hidden states per class model.
+        n_components: PCA dimensions for the per-frame features.
+        n_frames: frame count used to fold flat inputs back into
+            sequences.
+        n_iter: Baum-Welch iterations.
+        rng: randomness.
+    """
+
+    def __init__(
+        self,
+        n_states: int = 4,
+        n_components: int = 8,
+        n_frames: int | None = None,
+        n_iter: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.n_states = n_states
+        self.n_components = n_components
+        self.n_frames = n_frames
+        self.n_iter = n_iter
+        self.rng = rng or np.random.default_rng(0)
+        self._encoder = LabelEncoder()
+        self._pca: PCA | None = None
+        self._models: dict[int, GaussianHMM] = {}
+
+    def _to_sequences(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 3:
+            return x
+        if x.ndim == 2:
+            if self.n_frames is None:
+                raise ValueError("flat input needs n_frames")
+            n, total = x.shape
+            if total % self.n_frames:
+                raise ValueError(
+                    f"flat dim {total} not divisible by n_frames={self.n_frames}"
+                )
+            return x.reshape(n, self.n_frames, total // self.n_frames)
+        raise ValueError(f"expected 2-D or 3-D features, got {x.shape}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "HMMActivityClassifier":
+        sequences = self._to_sequences(x)
+        y = np.asarray(y)
+        ids = self._encoder.fit_transform(y)
+        n, steps, d = sequences.shape
+        self._pca = PCA(min(self.n_components, d, n * steps))
+        reduced = self._pca.fit_transform(sequences.reshape(-1, d)).reshape(
+            n, steps, -1
+        )
+        self._models = {}
+        for cls in range(self._encoder.n_classes):
+            member_seqs = [reduced[i] for i in np.flatnonzero(ids == cls)]
+            model = GaussianHMM(
+                n_states=self.n_states,
+                n_iter=self.n_iter,
+                rng=np.random.default_rng(self.rng.integers(2**31)),
+            )
+            model.fit(member_seqs)
+            self._models[cls] = model
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._pca is None or not self._models:
+            raise RuntimeError("classifier not fitted")
+        sequences = self._to_sequences(x)
+        n, steps, d = sequences.shape
+        reduced = self._pca.transform(sequences.reshape(-1, d)).reshape(n, steps, -1)
+        scores = np.empty((n, len(self._models)))
+        for cls, model in self._models.items():
+            scores[:, cls] = [model.score(reduced[i]) for i in range(n)]
+        return self._encoder.inverse(scores.argmax(axis=1))

@@ -1,0 +1,113 @@
+"""Evaluation metrics: accuracy, confusion matrix, per-class P/R/F1.
+
+The paper's headline metric is accuracy (their Section VI footnote
+defines it as ``(Tp+Tn)/(Tp+Tn+Fp+Fn)``, the standard multi-class
+accuracy); Table I is a column-normalised confusion matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches.
+
+    Raises:
+        ValueError: on length mismatch or empty input.
+    """
+    t, p = np.asarray(y_true), np.asarray(y_pred)
+    if t.shape != p.shape:
+        raise ValueError("y_true and y_pred must align")
+    if t.size == 0:
+        raise ValueError("empty evaluation set")
+    return float(np.mean(t == p))
+
+
+@dataclass
+class ConfusionMatrix:
+    """Confusion counts plus the class ordering.
+
+    Attributes:
+        labels: class labels indexing both axes.
+        counts: ``counts[i, j]`` = samples of true class j predicted as
+            class i (prediction rows / actual columns, Table I's
+            layout).
+    """
+
+    labels: np.ndarray
+    counts: np.ndarray
+
+    def column_normalized(self) -> np.ndarray:
+        """Each column scaled to sum to 1 (Table I's percentages)."""
+        sums = self.counts.sum(axis=0, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(sums > 0, self.counts / sums, 0.0)
+        return out
+
+    def diagonal_accuracy(self) -> np.ndarray:
+        """Per-class recall — the Table I diagonal."""
+        return np.diag(self.column_normalized())
+
+    def render(self, max_labels: int | None = None) -> str:
+        """Plain-text rendering in Table I's style."""
+        norm = self.column_normalized()
+        labels = [str(label) for label in self.labels]
+        if max_labels is not None:
+            labels = labels[:max_labels]
+        width = max(6, max(len(label) for label in labels) + 1)
+        header = " " * width + "".join(f"{label:>{width}}" for label in labels)
+        rows = [header]
+        for i, row_label in enumerate(labels):
+            cells = "".join(
+                f"{norm[i, j] * 100:>{width - 1}.0f}%" for j in range(len(labels))
+            )
+            rows.append(f"{row_label:>{width}}" + cells)
+        return "\n".join(rows)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> ConfusionMatrix:
+    """Build the (prediction x actual) confusion matrix."""
+    t, p = np.asarray(y_true), np.asarray(y_pred)
+    if t.shape != p.shape:
+        raise ValueError("y_true and y_pred must align")
+    if labels is None:
+        labels = np.array(sorted(set(t.tolist()) | set(p.tolist())))
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    counts = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for actual, predicted in zip(t.tolist(), p.tolist()):
+        counts[index[predicted], index[actual]] += 1
+    return ConfusionMatrix(labels=np.asarray(labels), counts=counts)
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> dict[str, np.ndarray]:
+    """Per-class precision, recall and F1.
+
+    Returns:
+        Dict with keys ``labels``, ``precision``, ``recall``, ``f1``.
+    """
+    cm = confusion_matrix(y_true, y_pred, labels)
+    counts = cm.counts.astype(np.float64)
+    tp = np.diag(counts)
+    predicted = counts.sum(axis=1)
+    actual = counts.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        f1 = np.where(
+            precision + recall > 0,
+            2 * precision * recall / (precision + recall),
+            0.0,
+        )
+    return {
+        "labels": cm.labels,
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }

@@ -1,0 +1,113 @@
+"""Train/test splitting and cross-validation.
+
+The paper uses an 80/20 split "with cross validation to mitigate
+overfitting" (Section VI-A); both a stratified split and stratified
+k-fold are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train and test sets.
+
+    With ``stratify`` (default), each class contributes proportionally
+    to the test set — important here because every activity class has
+    few samples.
+
+    Returns:
+        ``(x_train, x_test, y_train, y_test)``.
+
+    Raises:
+        ValueError: for a fraction outside (0, 1) or misaligned inputs.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    y = np.asarray(y)
+    x = np.asarray(x)
+    if len(x) != len(y):
+        raise ValueError("x and y must align")
+    rng = rng or np.random.default_rng()
+    test_idx: list[int] = []
+    if stratify:
+        for cls in sorted(set(y.tolist())):
+            members = np.flatnonzero(y == cls)
+            members = members[rng.permutation(len(members))]
+            n_test = max(1, int(round(test_fraction * len(members))))
+            test_idx.extend(members[:n_test].tolist())
+    else:
+        order = rng.permutation(len(y))
+        n_test = max(1, int(round(test_fraction * len(y))))
+        test_idx = order[:n_test].tolist()
+    test_mask = np.zeros(len(y), dtype=bool)
+    test_mask[test_idx] = True
+    return x[~test_mask], x[test_mask], y[~test_mask], y[test_mask]
+
+
+def stratified_kfold(
+    y: np.ndarray, n_splits: int, rng: np.random.Generator | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with class-balanced folds.
+
+    Raises:
+        ValueError: when ``n_splits`` exceeds the smallest class size.
+    """
+    y = np.asarray(y)
+    rng = rng or np.random.default_rng()
+    if n_splits < 2:
+        raise ValueError("need at least 2 splits")
+    folds: list[list[int]] = [[] for _ in range(n_splits)]
+    for cls in sorted(set(y.tolist())):
+        members = np.flatnonzero(y == cls)
+        if len(members) < n_splits:
+            raise ValueError(
+                f"class {cls!r} has {len(members)} samples < {n_splits} folds"
+            )
+        members = members[rng.permutation(len(members))]
+        for i, idx in enumerate(members):
+            folds[i % n_splits].append(int(idx))
+    all_idx = np.arange(len(y))
+    for fold in folds:
+        test = np.array(sorted(fold))
+        train = np.setdiff1d(all_idx, test)
+        yield train, test
+
+
+def cross_val_score(
+    make_classifier: Callable[[], "object"],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Stratified k-fold accuracy of a classifier factory.
+
+    Args:
+        make_classifier: zero-argument factory returning a fresh,
+            unfitted classifier with ``fit``/``score``.
+        x: features.
+        y: labels.
+        n_splits: number of folds.
+        rng: randomness for the fold assignment.
+
+    Returns:
+        ``(n_splits,)`` per-fold accuracies.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    scores = []
+    for train, test in stratified_kfold(y, n_splits, rng):
+        model = make_classifier()
+        model.fit(x[train], y[train])
+        scores.append(model.score(x[test], y[test]))
+    return np.asarray(scores)

@@ -1,0 +1,58 @@
+"""Gaussian naive Bayes (Fig. 9's "Bayesian Net" entry)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, LabelEncoder, validate_xy
+
+
+class GaussianNB(Classifier):
+    """Naive Bayes with per-class diagonal Gaussians.
+
+    Args:
+        var_smoothing: fraction of the largest feature variance added
+            to every variance for numerical stability.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be non-negative")
+        self.var_smoothing = var_smoothing
+        self._encoder = LabelEncoder()
+        self._means: np.ndarray | None = None
+        self._vars: np.ndarray | None = None
+        self._log_priors: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        x, y = validate_xy(x, y)
+        ids = self._encoder.fit_transform(y)
+        k = self._encoder.n_classes
+        d = x.shape[1]
+        self._means = np.zeros((k, d))
+        self._vars = np.zeros((k, d))
+        self._log_priors = np.zeros(k)
+        epsilon = self.var_smoothing * float(x.var(axis=0).max() or 1.0)
+        for cls in range(k):
+            members = x[ids == cls]
+            self._means[cls] = members.mean(axis=0)
+            self._vars[cls] = members.var(axis=0) + max(epsilon, 1e-12)
+            self._log_priors[cls] = np.log(len(members) / len(x))
+        return self
+
+    def log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        """Joint log p(x, class), ``(n, k)``."""
+        if self._means is None or self._vars is None or self._log_priors is None:
+            raise RuntimeError("classifier not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty((len(x), len(self._log_priors)))
+        for cls in range(len(self._log_priors)):
+            diff = x - self._means[cls]
+            out[:, cls] = self._log_priors[cls] - 0.5 * np.sum(
+                np.log(2.0 * np.pi * self._vars[cls]) + diff**2 / self._vars[cls],
+                axis=1,
+            )
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._encoder.inverse(self.log_likelihood(x).argmax(axis=1))

@@ -1,0 +1,58 @@
+"""k-nearest-neighbours classifier (Fig. 9 baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, validate_xy
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority vote over the k nearest training points.
+
+    Args:
+        n_neighbors: vote size.
+        weights: ``"uniform"`` or ``"distance"`` (inverse-distance
+            weighted votes).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        x, y = validate_xy(x, y)
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("classifier not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        k = min(self.n_neighbors, len(self._x))
+        # Squared distances via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2.
+        d2 = (
+            np.sum(x**2, axis=1)[:, None]
+            - 2.0 * x @ self._x.T
+            + np.sum(self._x**2, axis=1)[None, :]
+        )
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        out = []
+        for row, idx in enumerate(nearest):
+            votes: dict = {}
+            for j in idx:
+                if self.weights == "distance":
+                    w = 1.0 / (np.sqrt(max(d2[row, j], 0.0)) + 1e-9)
+                else:
+                    w = 1.0
+                label = self._y[j]
+                votes[label] = votes.get(label, 0.0) + w
+            out.append(max(sorted(votes), key=lambda label: votes[label]))
+        return np.asarray(out)

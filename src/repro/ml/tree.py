@@ -1,0 +1,182 @@
+"""CART decision tree (Fig. 9's "Decision Tree", and the forest's base).
+
+Binary splits on single features chosen by Gini impurity reduction,
+with the usual depth / min-samples stopping rules.  To keep training
+fast on wide feature vectors the split search can subsample features
+(used by the random forest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier, LabelEncoder, validate_xy
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    probabilities: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.probabilities is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p**2))
+
+
+class DecisionTreeClassifier(Classifier):
+    """CART with Gini impurity.
+
+    Args:
+        max_depth: depth cap (None = grow to purity).
+        min_samples_split: do not split smaller nodes.
+        max_features: features examined per split; ``None`` = all,
+            ``"sqrt"`` = square root (the random-forest setting), or
+            an int.
+        rng: feature subsampling randomness.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._encoder = LabelEncoder()
+        self._root: _Node | None = None
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x, y = validate_xy(x, y)
+        ids = self._encoder.fit_transform(y)
+        self._n_classes = self._encoder.n_classes
+        self._root = self._grow(x, ids, depth=0)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Leaf class distributions, ``(n, k)``."""
+        if self._root is None:
+            raise RuntimeError("classifier not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        return np.stack([self._route(row) for row in x])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._encoder.inverse(self.predict_proba(x).argmax(axis=1))
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    # ------------------------------------------------------------------
+
+    def _n_split_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        return max(1, min(int(self.max_features), d))
+
+    def _grow(self, x: np.ndarray, ids: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(ids, minlength=self._n_classes).astype(np.float64)
+        node = _Node()
+        if (
+            len(ids) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or _gini(counts) == 0.0
+        ):
+            node.probabilities = counts / counts.sum()
+            return node
+
+        best = self._best_split(x, ids, counts)
+        if best is None:
+            node.probabilities = counts / counts.sum()
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], ids[mask], depth + 1)
+        node.right = self._grow(x[~mask], ids[~mask], depth + 1)
+        return node
+
+    _FEATURE_CHUNK = 1024
+    """Features evaluated per vectorised block (bounds peak memory)."""
+
+    def _best_split(
+        self, x: np.ndarray, ids: np.ndarray, counts: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Vectorised exhaustive split search.
+
+        For every candidate feature, all ``n - 1`` split positions are
+        scored at once from cumulative per-class counts — spectrum
+        frames have tens of thousands of features, so a per-row Python
+        loop is untenable.
+        """
+        n, d = x.shape
+        parent_impurity = _gini(counts)
+        features = self.rng.choice(d, size=self._n_split_features(d), replace=False)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        one_hot = np.zeros((n, self._n_classes))
+        one_hot[np.arange(n), ids] = 1.0
+        positions = np.arange(1, n)  # left-side sizes
+
+        for start in range(0, len(features), self._FEATURE_CHUNK):
+            chunk = features[start : start + self._FEATURE_CHUNK]
+            cols = x[:, chunk]  # (n, c)
+            order = np.argsort(cols, axis=0, kind="stable")
+            sorted_vals = np.take_along_axis(cols, order, axis=0)
+            # left_counts[i, f, c] = class-c count among the first i+1 rows.
+            left_counts = np.cumsum(one_hot[order], axis=0)[:-1]  # (n-1, c_feat, k)
+            n_left = positions[:, None]
+            n_right = n - n_left
+            sum_sq_left = np.sum(left_counts**2, axis=2)
+            right_counts = counts[None, None, :] - left_counts
+            sum_sq_right = np.sum(right_counts**2, axis=2)
+            gini_left = 1.0 - sum_sq_left / (n_left**2)
+            gini_right = 1.0 - sum_sq_right / (n_right**2)
+            gain = parent_impurity - (n_left * gini_left + n_right * gini_right) / n
+            # Splits between equal values are invalid.
+            valid = sorted_vals[:-1] != sorted_vals[1:]
+            gain = np.where(valid, gain, -np.inf)
+            flat = int(np.argmax(gain))
+            row, col = np.unravel_index(flat, gain.shape)
+            if gain[row, col] > best_gain:
+                best_gain = float(gain[row, col])
+                threshold = float(
+                    (sorted_vals[row, col] + sorted_vals[row + 1, col]) / 2.0
+                )
+                best = (int(chunk[col]), threshold)
+        return best
+
+    def _route(self, row: np.ndarray) -> np.ndarray:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        if node is None or node.probabilities is None:
+            raise RuntimeError("corrupt tree")
+        return node.probabilities

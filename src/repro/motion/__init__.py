@@ -1,0 +1,29 @@
+"""Human motion: primitives, body kinematics, activity scenarios."""
+
+from repro.motion.body import ATTACHMENTS, PersonMotion, PersonProfile, perform
+from repro.motion.primitives import PRIMITIVES, Primitive, Signals, get_primitive
+from repro.motion.scenarios import (
+    SCENARIO_LABELS,
+    SCENARIOS,
+    ActivityScenario,
+    ScenarioInstance,
+    build_instance,
+    place_people,
+)
+
+__all__ = [
+    "ATTACHMENTS",
+    "PRIMITIVES",
+    "SCENARIOS",
+    "SCENARIO_LABELS",
+    "ActivityScenario",
+    "PersonMotion",
+    "PersonProfile",
+    "Primitive",
+    "ScenarioInstance",
+    "Signals",
+    "build_instance",
+    "get_primitive",
+    "perform",
+    "place_people",
+]

@@ -1,0 +1,130 @@
+"""Kinematic body model: from motion signals to tag trajectories.
+
+A person is a torso disc plus three tag attachment points — hand, arm
+(forearm) and shoulder, the paper's default placement.  The attachment
+model turns the primitive's motion signals into planar tag positions
+relative to the torso centre and heading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.model import BodyTrack
+from repro.geometry.vec import Vec2
+from repro.motion.primitives import Primitive, Signals
+
+ATTACHMENTS = ("hand", "arm", "shoulder")
+"""Tag attachment sites, in the order they are assigned per person."""
+
+
+@dataclass(frozen=True)
+class PersonProfile:
+    """Per-volunteer physical variability.
+
+    Attributes:
+        torso_radius: torso disc radius, metres.
+        reach_scale: arm length multiplier.
+        tempo_scale: time-axis multiplier (a slow mover has < 1).
+    """
+
+    torso_radius: float = 0.18
+    reach_scale: float = 1.0
+    tempo_scale: float = 1.0
+
+    @staticmethod
+    def random(rng: np.random.Generator) -> "PersonProfile":
+        """Draw a volunteer (varying size and movement speed)."""
+        return PersonProfile(
+            torso_radius=float(rng.uniform(0.15, 0.22)),
+            reach_scale=float(rng.uniform(0.85, 1.15)),
+            tempo_scale=float(rng.uniform(0.85, 1.2)),
+        )
+
+
+@dataclass
+class PersonMotion:
+    """One person's sampled movement over the scene window.
+
+    Attributes:
+        center: ``(T, 2)`` torso centre.
+        orientation: ``(T,)`` heading in radians.
+        signals: the raw motion signals.
+        profile: the volunteer's physique.
+    """
+
+    center: np.ndarray
+    orientation: np.ndarray
+    signals: Signals
+    profile: PersonProfile = field(default_factory=PersonProfile)
+
+    def body_track(self) -> BodyTrack:
+        """The torso as a channel-model blocker/scatterer."""
+        return BodyTrack(positions=self.center, radius=self.profile.torso_radius)
+
+    def tag_position(self, attachment: str) -> np.ndarray:
+        """Trajectory of a tag at one attachment site, ``(T, 2)``.
+
+        The hand rides the extension and lateral signals, the forearm a
+        damped version, the shoulder is nearly rigid with the torso —
+        so one activity produces three correlated but distinct tag
+        trajectories, which is what makes extra tags informative
+        (Fig. 15).
+
+        Raises:
+            ValueError: for an unknown attachment name.
+        """
+        cos_o = np.cos(self.orientation)
+        sin_o = np.sin(self.orientation)
+        unit = np.stack([cos_o, sin_o], axis=1)
+        perp = np.stack([-sin_o, cos_o], axis=1)
+        reach = self.profile.reach_scale
+        s = self.signals
+        if attachment == "hand":
+            along = (0.30 + 0.35 * s["hand_extend"]) * reach
+            lateral = 0.10 * reach + s["hand_lateral"]
+        elif attachment == "arm":
+            along = (0.22 + 0.20 * s["arm_extend"]) * reach
+            lateral = 0.12 * reach + 0.4 * s["hand_lateral"]
+        elif attachment == "shoulder":
+            along = np.full_like(self.orientation, 0.05)
+            lateral = np.full_like(self.orientation, 0.19 * reach)
+        else:
+            raise ValueError(f"unknown attachment {attachment!r}; valid: {ATTACHMENTS}")
+        return self.center + unit * np.asarray(along)[:, None] + perp * np.asarray(lateral)[:, None]
+
+
+def perform(
+    primitive: Primitive,
+    anchor: Vec2,
+    t: np.ndarray,
+    rng: np.random.Generator,
+    profile: PersonProfile | None = None,
+    facing: float | None = None,
+) -> PersonMotion:
+    """Execute a primitive at a place in the room.
+
+    Args:
+        primitive: the movement to perform.
+        anchor: nominal torso position.
+        t: time axis in seconds, ``(T,)``.
+        rng: randomness for this execution.
+        profile: volunteer physique; random when None.
+        facing: base heading in radians added to the primitive's
+            orientation signal; random when None.
+
+    Returns:
+        The sampled :class:`PersonMotion`.
+    """
+    profile = profile or PersonProfile.random(rng)
+    base_heading = rng.uniform(0, 2 * np.pi) if facing is None else facing
+    signals = primitive.sample(t * profile.tempo_scale, rng)
+    center = np.stack(
+        [anchor.x + signals["dx"], anchor.y + signals["dy"]], axis=1
+    )
+    orientation = signals["orientation"] + base_heading
+    return PersonMotion(
+        center=center, orientation=orientation, signals=signals, profile=profile
+    )

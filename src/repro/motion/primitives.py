@@ -1,0 +1,255 @@
+"""Motion primitives: parameterised human movements.
+
+Each primitive turns a time axis into a set of *motion signals* —
+centre displacement, body orientation, hand/arm extension — that the
+attachment model (:mod:`repro.motion.body`) converts into tag
+trajectories.  Rates, amplitudes and phases are drawn per instance, so
+two executions of "wave hand" by different simulated volunteers differ
+the way two real volunteers do (the paper's ten volunteers "vary in
+age, gender, height, and weight").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+Signals = dict[str, np.ndarray]
+"""Motion signal bundle.
+
+Keys (all ``(T,)`` float arrays):
+    ``dx``, ``dy``: centre displacement from the anchor, metres.
+    ``orientation``: body heading, radians.
+    ``hand_extend``: hand reach along the heading, ``[0, 1]``.
+    ``hand_lateral``: hand sideways displacement, metres.
+    ``arm_extend``: forearm reach along the heading, ``[0, 1]``.
+"""
+
+_SamplerFn = Callable[[np.ndarray, np.random.Generator], Signals]
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A named motion primitive.
+
+    Attributes:
+        name: registry key.
+        sampler: function mapping (time array, rng) to signals.
+    """
+
+    name: str
+    sampler: _SamplerFn
+
+    def sample(self, t: np.ndarray, rng: np.random.Generator) -> Signals:
+        """Draw one randomised execution of the primitive.
+
+        Always includes low-amplitude idle sway (breathing, balance
+        corrections) on top of the scripted movement.
+        """
+        signals = _zero_signals(t)
+        signals.update(self.sampler(t, rng))
+        _add_idle_sway(signals, t, rng)
+        return signals
+
+
+def _zero_signals(t: np.ndarray) -> Signals:
+    z = np.zeros_like(t)
+    return {
+        "dx": z.copy(),
+        "dy": z.copy(),
+        "orientation": z.copy(),
+        "hand_extend": z.copy(),
+        "hand_lateral": z.copy(),
+        "arm_extend": z.copy(),
+    }
+
+
+def _add_idle_sway(signals: Signals, t: np.ndarray, rng: np.random.Generator) -> None:
+    """Small always-on physiological motion (~1 cm sway, breathing)."""
+    rate = rng.uniform(0.2, 0.35)
+    phase = rng.uniform(0.0, 2 * np.pi)
+    sway = 0.01 * np.sin(2 * np.pi * rate * t + phase)
+    signals["dx"] = signals["dx"] + sway
+    signals["dy"] = signals["dy"] + 0.008 * np.sin(2 * np.pi * rate * 0.8 * t + phase * 1.7)
+    signals["hand_lateral"] = signals["hand_lateral"] + 0.005 * np.sin(
+        2 * np.pi * rate * 1.3 * t
+    )
+
+
+def _sin(t: np.ndarray, rate: float, phase: float) -> np.ndarray:
+    return np.sin(2 * np.pi * rate * t + phase)
+
+
+# ---------------------------------------------------------------------------
+# Primitive samplers
+
+
+def _stand_still(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    """No scripted movement; only idle sway."""
+    return _zero_signals(t)
+
+
+def _wave_hand(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(0.8, 1.6)
+    phase = rng.uniform(0, 2 * np.pi)
+    amp = rng.uniform(0.25, 0.40)
+    s["hand_lateral"] = amp * _sin(t, rate, phase)
+    s["arm_extend"] = 0.3 + 0.25 * _sin(t, rate, phase + 0.6)
+    return s
+
+
+def _push_forward(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(0.5, 0.9)
+    phase = rng.uniform(0, 2 * np.pi)
+    cycle = 0.5 * (1.0 + _sin(t, rate, phase))
+    s["hand_extend"] = cycle
+    s["arm_extend"] = 0.7 * cycle
+    return s
+
+
+def _clap_hands(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(2.0, 3.0)
+    phase = rng.uniform(0, 2 * np.pi)
+    s["hand_lateral"] = 0.12 * _sin(t, rate, phase)
+    s["hand_extend"] = 0.4 + 0.08 * _sin(t, rate, phase + np.pi / 2)
+    s["arm_extend"] = 0.3 + 0.06 * _sin(t, rate, phase)
+    return s
+
+
+def _walk_line(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    span = rng.uniform(0.8, 1.6)
+    speed = rng.uniform(0.4, 0.7)
+    heading = rng.uniform(0, 2 * np.pi)
+    phase = rng.uniform(0, 2 * np.pi)
+    # Triangle-ish back-and-forth via a sine of the right period.
+    period = 2.0 * span / speed
+    along = (span / 2.0) * np.sin(2 * np.pi * t / period + phase)
+    s["dx"] = along * np.cos(heading)
+    s["dy"] = along * np.sin(heading)
+    s["orientation"] = np.full_like(t, heading)
+    step_rate = rng.uniform(1.6, 2.1)
+    s["hand_lateral"] = 0.15 * _sin(t, step_rate, phase)
+    s["arm_extend"] = 0.15 + 0.1 * _sin(t, step_rate, phase + 1.0)
+    return s
+
+
+def _walk_circle(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    radius = rng.uniform(0.5, 0.9)
+    rev_rate = rng.uniform(0.12, 0.22)
+    phase = rng.uniform(0, 2 * np.pi)
+    angle = 2 * np.pi * rev_rate * t + phase
+    s["dx"] = radius * np.cos(angle)
+    s["dy"] = radius * np.sin(angle)
+    s["orientation"] = angle + np.pi / 2.0
+    step_rate = rng.uniform(1.6, 2.1)
+    s["hand_lateral"] = 0.12 * _sin(t, step_rate, phase)
+    return s
+
+
+def _squat(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(0.35, 0.6)
+    phase = rng.uniform(0, 2 * np.pi)
+    # In plan view a squat pulls the torso slightly back and the arms
+    # forward for balance, cyclically.
+    cycle = 0.5 * (1.0 + _sin(t, rate, phase))
+    s["dx"] = -0.10 * cycle
+    s["hand_extend"] = 0.5 * cycle
+    s["arm_extend"] = 0.4 * cycle
+    return s
+
+
+def _turn_around(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rev_rate = rng.uniform(0.2, 0.4) * rng.choice([-1.0, 1.0])
+    phase = rng.uniform(0, 2 * np.pi)
+    s["orientation"] = 2 * np.pi * rev_rate * t + phase
+    return s
+
+
+def _pick_up(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(0.25, 0.45)
+    phase = rng.uniform(0, 2 * np.pi)
+    # Reach down-forward, grab, lift: an asymmetric slow cycle.
+    cycle = np.clip(1.4 * np.sin(2 * np.pi * rate * t + phase), -1.0, 1.0)
+    reach = 0.5 * (1.0 + cycle)
+    s["hand_extend"] = reach
+    s["arm_extend"] = 0.8 * reach
+    s["dx"] = 0.12 * reach
+    return s
+
+
+def _jump(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(1.8, 2.5)
+    phase = rng.uniform(0, 2 * np.pi)
+    bounce = np.abs(_sin(t, rate / 2.0, phase))
+    s["dx"] = 0.05 * bounce
+    s["dy"] = 0.05 * _sin(t, rate, phase)
+    s["hand_lateral"] = 0.10 * _sin(t, rate, phase + 0.3)
+    s["arm_extend"] = 0.2 * bounce
+    return s
+
+
+def _sit_down(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    onset = rng.uniform(0.15, 0.35) * (t[-1] if len(t) else 1.0)
+    tau = rng.uniform(0.6, 1.2)
+    ramp = 1.0 / (1.0 + np.exp(-(t - onset) / tau))
+    s["dx"] = -0.35 * ramp
+    s["hand_extend"] = 0.3 * ramp * (1.0 - ramp) * 4.0
+    s["arm_extend"] = 0.2 * ramp
+    return s
+
+
+def _stretch_arms(t: np.ndarray, rng: np.random.Generator) -> Signals:
+    s = _zero_signals(t)
+    rate = rng.uniform(0.2, 0.35)
+    phase = rng.uniform(0, 2 * np.pi)
+    cycle = 0.5 * (1.0 + _sin(t, rate, phase))
+    s["hand_extend"] = cycle
+    s["arm_extend"] = cycle
+    s["hand_lateral"] = 0.25 * _sin(t, rate * 2.0, phase)
+    return s
+
+
+PRIMITIVES: dict[str, Primitive] = {
+    p.name: p
+    for p in (
+        Primitive("stand_still", _stand_still),
+        Primitive("wave_hand", _wave_hand),
+        Primitive("push_forward", _push_forward),
+        Primitive("clap_hands", _clap_hands),
+        Primitive("walk_line", _walk_line),
+        Primitive("walk_circle", _walk_circle),
+        Primitive("squat", _squat),
+        Primitive("turn_around", _turn_around),
+        Primitive("pick_up", _pick_up),
+        Primitive("jump", _jump),
+        Primitive("sit_down", _sit_down),
+        Primitive("stretch_arms", _stretch_arms),
+    )
+}
+"""Registry of every primitive by name."""
+
+
+def get_primitive(name: str) -> Primitive:
+    """Look up a primitive.
+
+    Raises:
+        KeyError: with the list of valid names, for typo-friendliness.
+    """
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown primitive {name!r}; valid: {sorted(PRIMITIVES)}"
+        ) from None

@@ -1,0 +1,220 @@
+"""The 12 multi-person activity scenarios of the evaluation.
+
+The paper tests "12 activity scenarios with two people" (Fig. 8 shows
+sketches without naming them).  We define 12 concrete two-person
+combinations over the primitive vocabulary and document each; what
+matters for reproduction is that the 12 classes produce distinct joint
+RF signatures through the same pipeline.
+
+Scenario instances are randomised: volunteer physique, placement
+(3-6 m from the reader, per Section VI-A), base heading, and primitive
+rate/amplitude/phase all vary per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.room import Room
+from repro.geometry.vec import Vec2
+from repro.hardware.antenna import UniformLinearArray
+from repro.hardware.scene import Scene, TagTrack
+from repro.hardware.tag import make_tag
+from repro.motion.body import ATTACHMENTS, PersonMotion, PersonProfile, perform
+from repro.motion.primitives import get_primitive
+
+
+@dataclass(frozen=True)
+class ActivityScenario:
+    """A labelled multi-person activity class.
+
+    Attributes:
+        label: class id, ``"A01"`` .. ``"A12"``.
+        description: what the people are doing.
+        primitives: primitive name per person; cycled when the caller
+            asks for more people than listed.
+    """
+
+    label: str
+    description: str
+    primitives: tuple[str, ...]
+
+
+SCENARIOS: dict[str, ActivityScenario] = {
+    s.label: s
+    for s in (
+        ActivityScenario("A01", "P1 waves a hand, P2 stands still", ("wave_hand", "stand_still")),
+        ActivityScenario("A02", "P1 pushes forward repeatedly, P2 stands still", ("push_forward", "stand_still")),
+        ActivityScenario("A03", "P1 walks a line, P2 stands still", ("walk_line", "stand_still")),
+        ActivityScenario("A04", "P1 squats, P2 stands still", ("squat", "stand_still")),
+        ActivityScenario("A05", "both people wave hands", ("wave_hand", "wave_hand")),
+        ActivityScenario("A06", "both people walk lines", ("walk_line", "walk_line")),
+        ActivityScenario("A07", "P1 claps, P2 turns around in place", ("clap_hands", "turn_around")),
+        ActivityScenario("A08", "P1 picks objects up, P2 walks a line", ("pick_up", "walk_line")),
+        ActivityScenario("A09", "P1 jumps, P2 waves a hand", ("jump", "wave_hand")),
+        ActivityScenario("A10", "P1 sits down, P2 pushes forward", ("sit_down", "push_forward")),
+        ActivityScenario("A11", "P1 stretches arms, P2 walks a circle", ("stretch_arms", "walk_circle")),
+        ActivityScenario("A12", "P1 turns around, P2 squats", ("turn_around", "squat")),
+    )
+}
+"""All twelve scenario classes, keyed by label."""
+
+SCENARIO_LABELS: tuple[str, ...] = tuple(sorted(SCENARIOS))
+"""Class labels in canonical (sorted) order."""
+
+
+@dataclass
+class ScenarioInstance:
+    """One rendered execution of a scenario.
+
+    Attributes:
+        label: scenario class id.
+        scene: the RF scene handed to the reader.
+        motions: per-person sampled movement (ground truth).
+    """
+
+    label: str
+    scene: Scene
+    motions: list[PersonMotion]
+
+
+_SPOT_BEARINGS_DEG = (70.0, 110.0, 90.0, 55.0, 125.0)
+_SPOT_DISTANCES_M = (4.0, 4.5, 3.2, 5.0, 3.8)
+
+
+def place_people(
+    n_persons: int,
+    array: UniformLinearArray,
+    room: Room,
+    rng: np.random.Generator,
+    distance_m: float | None = None,
+    min_separation: float = 1.2,
+    bearing_jitter_deg: float = 8.0,
+    distance_jitter_m: float = 0.5,
+) -> list[Vec2]:
+    """Choose anchor positions for the people.
+
+    The paper's protocol has volunteers perform *predefined scenarios*
+    3-6 m in front of the reader, and its discussion section notes the
+    trained model is specific to "identical antenna settings and tag
+    placements".  We model that: person ``i`` has a nominal floor spot
+    (a bearing/distance pair in front of the array) and each execution
+    jitters around it — repeatable the way marked positions in a lab
+    study are, but never identical.
+
+    Args:
+        n_persons: how many anchors to draw.
+        array: the reader array (people are placed in front of it).
+        room: placements must fall inside this room.
+        rng: per-execution jitter randomness.
+        distance_m: fix the reader distance for every spot (Fig. 13);
+            the per-spot nominal distances are used when None.
+        min_separation: minimum pairwise anchor spacing.
+        bearing_jitter_deg: per-execution bearing jitter.
+        distance_jitter_m: per-execution distance jitter.
+
+    Returns:
+        ``n_persons`` anchor points.
+
+    Raises:
+        RuntimeError: when no valid placement is found (a pathological
+            room/arguments combination).
+    """
+    anchors: list[Vec2] = []
+    for i in range(n_persons):
+        base_bearing = _SPOT_BEARINGS_DEG[i % len(_SPOT_BEARINGS_DEG)]
+        base_distance = (
+            distance_m
+            if distance_m is not None
+            else _SPOT_DISTANCES_M[i % len(_SPOT_DISTANCES_M)]
+        )
+        # Close-range sweeps (Fig. 13 at 1 m) cannot honour the default
+        # spacing; scale it down with the working distance.
+        min_separation = min(min_separation, max(0.5, 0.7 * base_distance))
+        for _attempt in range(200):
+            bearing = np.deg2rad(
+                base_bearing + rng.uniform(-bearing_jitter_deg, bearing_jitter_deg)
+            )
+            dist = base_distance + rng.uniform(-distance_jitter_m, distance_jitter_m)
+            dist = max(dist, 0.8)
+            # Bearing is measured from the array axis, like the AoA.
+            offset = Vec2(
+                float(np.cos(bearing)), float(np.sin(bearing))
+            ).rotated(array.axis_angle_rad)
+            candidate = array.center + offset * float(dist)
+            if not room.contains(candidate, margin=0.5):
+                continue
+            if all(candidate.distance_to(a) >= min_separation for a in anchors):
+                anchors.append(candidate)
+                break
+        else:
+            raise RuntimeError(
+                f"could not place {n_persons} people in {room.name} "
+                f"at distance {distance_m}"
+            )
+    return anchors
+
+
+def build_instance(
+    scenario: ActivityScenario,
+    array: UniformLinearArray,
+    room: Room,
+    duration_s: float,
+    slot_s: float,
+    rng: np.random.Generator,
+    n_persons: int | None = None,
+    tags_per_person: int = 3,
+    distance_m: float | None = None,
+    profiles: list[PersonProfile] | None = None,
+) -> ScenarioInstance:
+    """Render one randomised execution of a scenario into a Scene.
+
+    Args:
+        scenario: the activity class.
+        array: reader array (placement reference).
+        room: environment.
+        duration_s: observation window length.
+        slot_s: reader TDM slot (sets the trajectory sample rate).
+        rng: randomness for this instance.
+        n_persons: people in the scene; defaults to the scenario's
+            primitive count (2).  Extra people cycle the primitive
+            list, fewer truncate it (Fig. 11 sweeps this).
+        tags_per_person: 1-3 tags at hand/arm/shoulder (Fig. 15).
+        distance_m: fixed reader distance (Fig. 13) or None for random.
+        profiles: optional fixed volunteer physiques.
+
+    Returns:
+        The rendered :class:`ScenarioInstance`.
+    """
+    if not 1 <= tags_per_person <= len(ATTACHMENTS):
+        raise ValueError(f"tags_per_person must be in [1, {len(ATTACHMENTS)}]")
+    n_persons = n_persons if n_persons is not None else len(scenario.primitives)
+    if n_persons < 1:
+        raise ValueError("need at least one person")
+
+    n_slots = int(round(duration_s / slot_s))
+    t = (np.arange(n_slots) + 0.5) * slot_s
+    anchors = place_people(n_persons, array, room, rng, distance_m=distance_m)
+
+    motions: list[PersonMotion] = []
+    for i in range(n_persons):
+        primitive = get_primitive(scenario.primitives[i % len(scenario.primitives)])
+        profile = profiles[i] if profiles is not None else None
+        motions.append(perform(primitive, anchors[i], t, rng, profile=profile))
+
+    bodies = tuple(m.body_track() for m in motions)
+    tracks: list[TagTrack] = []
+    for i, motion in enumerate(motions):
+        for attachment in ATTACHMENTS[:tags_per_person]:
+            epc = f"{scenario.label}-P{i}-{attachment}"
+            tracks.append(
+                TagTrack(
+                    tag=make_tag(epc, rng),
+                    positions=motion.tag_position(attachment),
+                    carrier=i,
+                )
+            )
+    scene = Scene(tag_tracks=tuple(tracks), bodies=bodies)
+    return ScenarioInstance(label=scenario.label, scene=scene, motions=motions)

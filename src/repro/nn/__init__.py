@@ -1,0 +1,38 @@
+"""From-scratch numpy deep-learning framework (CNN + LSTM + training)."""
+
+from repro.nn.conv import Conv1d, GlobalAveragePool1d, MaxPool1d
+from repro.nn.gradcheck import check_module_gradients, numerical_gradient
+from repro.nn.init import glorot_uniform, he_uniform, orthogonal
+from repro.nn.layers import Dense, Dropout, Flatten, ReLU, Tanh
+from repro.nn.losses import log_softmax, mse_loss, softmax, softmax_cross_entropy
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.recurrent import LSTM, LastStep
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "Conv1d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAveragePool1d",
+    "LSTM",
+    "LastStep",
+    "MaxPool1d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "check_module_gradients",
+    "clip_grad_norm",
+    "glorot_uniform",
+    "he_uniform",
+    "log_softmax",
+    "mse_loss",
+    "numerical_gradient",
+    "orthogonal",
+    "softmax",
+    "softmax_cross_entropy",
+]

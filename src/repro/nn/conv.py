@@ -1,0 +1,152 @@
+"""1-D convolution and pooling (the spectrum-frame encoders).
+
+The paper's CONV-E1/E2/E3 layers slide over the 180-angle axis of the
+pseudospectrum frame; 1-D convolution over that axis with the tag axis
+as channels realises the same structure.  Implemented with im2col so
+the heavy lifting is one matmul per layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_uniform
+from repro.nn.module import Module, Parameter
+
+
+def _out_length(length: int, kernel: int, stride: int, padding: int) -> int:
+    out = (length + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"conv output length {out} <= 0 (L={length}, K={kernel}, "
+            f"stride={stride}, pad={padding})"
+        )
+    return out
+
+
+class Conv1d(Module):
+    """Cross-correlation over the last axis: ``(B, C_in, L) -> (B, C_out, L_out)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "conv",
+    ) -> None:
+        if kernel < 1 or stride < 1 or padding < 0:
+            raise ValueError("kernel/stride must be >= 1, padding >= 0")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel
+        self.weight = Parameter(
+            he_uniform((out_channels, in_channels, kernel), rng, fan_in=fan_in),
+            name=f"{name}.W",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.b")
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+        self._gather: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (B, {self.in_channels}, L), got {x.shape}"
+            )
+        batch, _c, length = x.shape
+        l_out = _out_length(length, self.kernel, self.stride, self.padding)
+        if self.padding:
+            x_pad = np.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
+        else:
+            x_pad = x
+        gather = (
+            np.arange(l_out)[:, None] * self.stride + np.arange(self.kernel)[None, :]
+        )
+        cols = x_pad[:, :, gather]  # (B, C, L_out, K)
+        cols = cols.transpose(0, 2, 1, 3).reshape(batch, l_out, -1)  # (B, L_out, C*K)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._gather = gather
+        w_flat = self.weight.value.reshape(self.out_channels, -1)  # (C_out, C*K)
+        y = cols @ w_flat.T + self.bias.value  # (B, L_out, C_out)
+        return y.transpose(0, 2, 1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._gather is None:
+            raise RuntimeError("backward before forward")
+        batch, _c, length = self._x_shape
+        g = grad.transpose(0, 2, 1)  # (B, L_out, C_out)
+        w_flat = self.weight.value.reshape(self.out_channels, -1)
+        flat_g = g.reshape(-1, self.out_channels)
+        flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
+        self.weight.grad += (flat_g.T @ flat_cols).reshape(self.weight.value.shape)
+        self.bias.grad += flat_g.sum(axis=0)
+        dcols = (g @ w_flat).reshape(
+            batch, -1, self.in_channels, self.kernel
+        ).transpose(0, 2, 1, 3)  # (B, C, L_out, K)
+        dx_pad = np.zeros((batch, self.in_channels, length + 2 * self.padding))
+        np.add.at(dx_pad, (slice(None), slice(None), self._gather), dcols)
+        if self.padding:
+            return dx_pad[:, :, self.padding : self.padding + length]
+        return dx_pad
+
+
+class MaxPool1d(Module):
+    """Max pooling over the last axis."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self.stride = stride or kernel
+        self._x_shape: tuple[int, ...] | None = None
+        self._argmax: np.ndarray | None = None
+        self._gather: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, C, L), got {x.shape}")
+        batch, channels, length = x.shape
+        l_out = _out_length(length, self.kernel, self.stride, 0)
+        gather = (
+            np.arange(l_out)[:, None] * self.stride + np.arange(self.kernel)[None, :]
+        )
+        windows = x[:, :, gather]  # (B, C, L_out, K)
+        self._argmax = windows.argmax(axis=3)
+        self._x_shape = x.shape
+        self._gather = gather
+        return windows.max(axis=3)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._argmax is None or self._gather is None:
+            raise RuntimeError("backward before forward")
+        batch, channels, length = self._x_shape
+        dx = np.zeros(self._x_shape)
+        l_out = grad.shape[2]
+        b_idx, c_idx, o_idx = np.indices((batch, channels, l_out))
+        src = self._gather[o_idx, self._argmax]
+        np.add.at(dx, (b_idx, c_idx, src), grad)
+        return dx
+
+
+class GlobalAveragePool1d(Module):
+    """Mean over the last axis: ``(B, C, L) -> (B, C)``."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward before forward")
+        batch, channels, length = self._x_shape
+        return np.broadcast_to(grad[:, :, None] / length, self._x_shape).copy()

@@ -1,0 +1,40 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None, fan_out: int | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Args:
+        shape: tensor shape.
+        rng: randomness source.
+        fan_in: override the inferred input fan.
+        fan_out: override the inferred output fan.
+    """
+    if fan_in is None:
+        fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+    if fan_out is None:
+        fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None) -> np.ndarray:
+    """He uniform initialisation (for ReLU stacks)."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation (recurrent weight matrices)."""
+    a = rng.normal(0.0, 1.0, shape)
+    q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    q = q * np.sign(np.diag(r))
+    return q if shape[0] >= shape[1] else q.T

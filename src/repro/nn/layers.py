@@ -1,0 +1,114 @@
+"""Dense and element-wise layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, he_uniform
+from repro.nn.module import Module, Parameter
+
+
+class Dense(Module):
+    """Affine layer ``y = x W + b`` over the last axis.
+
+    Accepts any leading batch shape: ``(..., in_dim) -> (..., out_dim)``.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        relu_init: bool = False,
+        name: str = "dense",
+    ) -> None:
+        init = he_uniform if relu_init else glorot_uniform
+        self.weight = Parameter(init((in_dim, out_dim), rng), name=f"{name}.W")
+        self.bias = Parameter(np.zeros(out_dim), name=f"{name}.b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward before forward")
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_g = grad.reshape(-1, grad.shape[-1])
+        self.weight.grad += flat_x.T @ flat_g
+        self.bias.grad += flat_g.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward before forward")
+        return grad * (1.0 - self._y**2)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Flatten(Module):
+    """Collapse all but the first axis: ``(B, ...) -> (B, D)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        return grad.reshape(self._shape)

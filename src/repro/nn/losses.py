@@ -1,0 +1,61 @@
+"""Training losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy (Eq. 17) and its gradient w.r.t. the logits.
+
+    Args:
+        logits: ``(..., C)`` unnormalised scores.
+        labels: integer class ids with shape ``logits.shape[:-1]``.
+
+    Returns:
+        ``(loss, dlogits)``: the scalar mean negative log-likelihood
+        and the gradient array, already divided by the number of
+        predictions so it can be fed straight into ``backward``.
+
+    Raises:
+        ValueError: on shape mismatch or out-of-range labels.
+    """
+    labels = np.asarray(labels)
+    if labels.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"labels shape {labels.shape} != logits batch shape {logits.shape[:-1]}"
+        )
+    n_classes = logits.shape[-1]
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError("label out of range")
+    log_p = log_softmax(logits)
+    flat_log_p = log_p.reshape(-1, n_classes)
+    flat_labels = labels.reshape(-1)
+    count = flat_labels.size
+    nll = -flat_log_p[np.arange(count), flat_labels].mean()
+    grad = np.exp(flat_log_p)
+    grad[np.arange(count), flat_labels] -= 1.0
+    grad /= count
+    return float(nll), grad.reshape(logits.shape)
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and gradient."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    return loss, 2.0 * diff / diff.size

@@ -1,0 +1,118 @@
+"""Minimal deep-learning framework: parameters and modules.
+
+The paper trains its CNN+LSTM in Keras/TensorFlow; this environment has
+neither, so ``repro.nn`` implements the needed subset from scratch on
+numpy with explicit forward/backward passes.  Every layer caches what
+its backward pass needs during forward, so the usage contract is the
+classic one: ``forward`` then ``backward`` once, gradients accumulate
+into ``Parameter.grad`` until ``zero_grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register :class:`Parameter` attributes and sub-``Module``
+    attributes directly on ``self``; :meth:`parameters` discovers both
+    recursively.  ``forward`` takes a ``training`` flag (dropout etc.);
+    ``backward`` receives the upstream gradient and returns the
+    gradient with respect to the input.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first, deterministic order."""
+        params: list[Parameter] = []
+        for _name, attr in sorted(vars(self).items()):
+            if isinstance(attr, Parameter):
+                params.append(attr)
+            elif isinstance(attr, Module):
+                params.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient to zero."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def get_state(self) -> list[np.ndarray]:
+        """Snapshot of all parameter values (for checkpointing)."""
+        return [p.value.copy() for p in self.parameters()]
+
+    def set_state(self, state: list[np.ndarray]) -> None:
+        """Restore a snapshot taken by :meth:`get_state`.
+
+        Raises:
+            ValueError: on a count or shape mismatch.
+        """
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} tensors, model has {len(params)}"
+            )
+        for p, value in zip(params, state):
+            if p.value.shape != value.shape:
+                raise ValueError(f"shape mismatch for {p.name}: {p.value.shape} vs {value.shape}")
+            p.value[...] = value
+
+
+class Sequential(Module):
+    """Feed-forward chain of modules."""
+
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

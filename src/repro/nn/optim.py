@@ -1,0 +1,100 @@
+"""Optimisers and gradient clipping.
+
+The paper trains with stochastic gradient descent and "scales the norm
+of the gradient" against exploding LSTM gradients (Section VI-A); both
+are provided, plus Adam as a faster-converging alternative for the
+compact simulated datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns:
+        The pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = float(np.sqrt(sum(float(np.sum(p.grad**2)) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class SGD:
+    """SGD with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.value -= self.lr * g
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,137 @@
+"""Long Short-Term Memory layer with full backpropagation through time.
+
+The paper stacks two LSTM layers of 32 memory cells on top of the CNN
+encoder (Section IV-B.2); the gating follows Hochreiter & Schmidhuber
+with the usual forget-gate bias of 1 so memories persist early in
+training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, orthogonal
+from repro.nn.module import Module, Parameter
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class LSTM(Module):
+    """Sequence-to-sequence LSTM: ``(B, T, D) -> (B, T, H)``.
+
+    Gate order in the packed weight matrices is (input, forget, cell,
+    output).
+    """
+
+    def __init__(
+        self, in_dim: int, hidden: int, rng: np.random.Generator, name: str = "lstm"
+    ) -> None:
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.w_x = Parameter(
+            glorot_uniform((in_dim, 4 * hidden), rng), name=f"{name}.Wx"
+        )
+        w_h = np.concatenate(
+            [orthogonal((hidden, hidden), rng) for _ in range(4)], axis=1
+        )
+        self.w_h = Parameter(w_h, name=f"{name}.Wh")
+        bias = np.zeros(4 * hidden)
+        bias[hidden : 2 * hidden] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name=f"{name}.b")
+        self._cache: list[dict[str, np.ndarray]] | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.in_dim:
+            raise ValueError(f"expected (B, T, {self.in_dim}), got {x.shape}")
+        batch, steps, _dim = x.shape
+        hid = self.hidden
+        h = np.zeros((batch, hid))
+        c = np.zeros((batch, hid))
+        outputs = np.empty((batch, steps, hid))
+        cache: list[dict[str, np.ndarray]] = []
+        for t in range(steps):
+            x_t = x[:, t, :]
+            a = x_t @ self.w_x.value + h @ self.w_h.value + self.bias.value
+            i = _sigmoid(a[:, :hid])
+            f = _sigmoid(a[:, hid : 2 * hid])
+            g = np.tanh(a[:, 2 * hid : 3 * hid])
+            o = _sigmoid(a[:, 3 * hid :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            cache.append(
+                {
+                    "x": x_t,
+                    "h_prev": h,
+                    "c_prev": c,
+                    "i": i,
+                    "f": f,
+                    "g": g,
+                    "o": o,
+                    "tanh_c": tanh_c,
+                }
+            )
+            h, c = h_new, c_new
+            outputs[:, t, :] = h
+        self._cache = cache
+        self._x_shape = x.shape
+        return outputs
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None or self._x_shape is None:
+            raise RuntimeError("backward before forward")
+        batch, steps, _dim = self._x_shape
+        hid = self.hidden
+        dx = np.zeros(self._x_shape)
+        dh_next = np.zeros((batch, hid))
+        dc_next = np.zeros((batch, hid))
+        for t in reversed(range(steps)):
+            step = self._cache[t]
+            dh = grad[:, t, :] + dh_next
+            do = dh * step["tanh_c"]
+            dc = dh * step["o"] * (1.0 - step["tanh_c"] ** 2) + dc_next
+            di = dc * step["g"]
+            df = dc * step["c_prev"]
+            dg = dc * step["i"]
+            dc_next = dc * step["f"]
+            da = np.concatenate(
+                [
+                    di * step["i"] * (1.0 - step["i"]),
+                    df * step["f"] * (1.0 - step["f"]),
+                    dg * (1.0 - step["g"] ** 2),
+                    do * step["o"] * (1.0 - step["o"]),
+                ],
+                axis=1,
+            )
+            self.w_x.grad += step["x"].T @ da
+            self.w_h.grad += step["h_prev"].T @ da
+            self.bias.grad += da.sum(axis=0)
+            dx[:, t, :] = da @ self.w_x.value.T
+            dh_next = da @ self.w_h.value.T
+        return dx
+
+
+class LastStep(Module):
+    """Select the final timestep: ``(B, T, H) -> (B, H)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x[:, -1, :]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        dx = np.zeros(self._shape)
+        dx[:, -1, :] = grad
+        return dx

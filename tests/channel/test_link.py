@@ -1,0 +1,51 @@
+"""Link-budget conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel import (
+    ChannelParams,
+    above_noise_floor,
+    gain_to_rssi_dbm,
+    harvest_mask,
+    rssi_dbm_to_amplitude,
+)
+
+PARAMS = ChannelParams()
+
+
+class TestRssiMapping:
+    def test_reference_point(self):
+        gain = np.array([PARAMS.reference_amplitude**2 + 0j])
+        assert gain_to_rssi_dbm(gain, PARAMS)[0] == pytest.approx(PARAMS.rssi_ref_dbm)
+
+    def test_6db_per_halving(self):
+        gains = np.array([0.5, 0.25], dtype=complex)
+        rssi = gain_to_rssi_dbm(gains, PARAMS)
+        assert rssi[0] - rssi[1] == pytest.approx(6.02, abs=0.01)
+
+    @given(st.floats(min_value=1e-6, max_value=10.0))
+    def test_roundtrip(self, magnitude):
+        rssi = gain_to_rssi_dbm(np.array([magnitude + 0j]), PARAMS)
+        back = rssi_dbm_to_amplitude(rssi, PARAMS)
+        assert back[0] == pytest.approx(magnitude, rel=1e-9)
+
+    def test_phase_irrelevant(self):
+        a = gain_to_rssi_dbm(np.array([0.3 + 0j]), PARAMS)
+        b = gain_to_rssi_dbm(np.array([0.3j]), PARAMS)
+        assert a[0] == pytest.approx(b[0])
+
+
+class TestGates:
+    def test_harvest_threshold(self):
+        g = np.array([PARAMS.harvest_amplitude_threshold * 2, PARAMS.harvest_amplitude_threshold / 2])
+        mask = harvest_mask(g.astype(complex), PARAMS)
+        assert mask.tolist() == [True, False]
+
+    def test_noise_floor(self):
+        rssi = np.array([PARAMS.noise_floor_dbm + 1.0, PARAMS.noise_floor_dbm - 1.0])
+        assert above_noise_floor(rssi, PARAMS).tolist() == [True, False]

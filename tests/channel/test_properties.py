@@ -1,0 +1,84 @@
+"""Physical invariants of the channel model (hypothesis-checked)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import ChannelParams, MultipathChannel
+from repro.geometry import Rectangle, Room, make_open_space
+
+position = st.tuples(
+    st.floats(min_value=-8.0, max_value=8.0, allow_nan=False),
+    st.floats(min_value=-8.0, max_value=8.0, allow_nan=False),
+)
+
+
+def clean_channel(room=None):
+    return MultipathChannel(
+        room=room or make_open_space(),
+        params=ChannelParams(diffuse_level=0.0),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestReciprocity:
+    @given(position, position)
+    @settings(max_examples=25, deadline=None)
+    def test_swap_antenna_and_tag(self, a, b):
+        """One-way gain is symmetric in the endpoints (reciprocity)."""
+        if np.hypot(a[0] - b[0], a[1] - b[1]) < 0.2:
+            return
+        channel = clean_channel()
+        ab = channel.one_way_gain(np.array(a), np.array(b), 0.328, include_diffuse=False)
+        ba = channel.one_way_gain(np.array(b), np.array(a), 0.328, include_diffuse=False)
+        np.testing.assert_allclose(ab, ba, rtol=1e-9)
+
+    def test_reciprocity_with_walls(self):
+        room = Room(bounds=Rectangle(-10, -10, 10, 10), wall_reflectivity=0.5)
+        channel = clean_channel(room)
+        a, b = np.array([1.0, 2.0]), np.array([4.0, -3.0])
+        ab = channel.one_way_gain(a, b, 0.328, include_diffuse=False)
+        ba = channel.one_way_gain(b, a, 0.328, include_diffuse=False)
+        np.testing.assert_allclose(ab, ba, rtol=1e-9)
+
+
+class TestWavelengthScaling:
+    @given(st.floats(min_value=0.30, max_value=0.34))
+    @settings(max_examples=25, deadline=None)
+    def test_phase_scales_with_wavelength(self, lam):
+        channel = clean_channel()
+        tag = np.array([3.0, 0.0])
+        ant = np.array([0.0, 0.0])
+        g = channel.one_way_gain(ant, tag, lam, include_diffuse=False)[0]
+        expected = np.exp(-2j * np.pi * 3.0 / lam)
+        assert np.angle(g * np.conj(expected)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSuperposition:
+    def test_total_is_sum_of_components(self):
+        room = Room(bounds=Rectangle(-10, -10, 10, 10), wall_reflectivity=0.4)
+        channel = clean_channel(room)
+        ant, tag = np.array([0.0, 0.0]), np.array([3.0, 2.0])
+        comps = channel.path_components(ant, tag, 0.328)
+        total = channel.one_way_gain(ant, tag, 0.328, include_diffuse=False)
+        np.testing.assert_allclose(total, sum(c.gain for c in comps))
+
+
+class TestEnergyMonotonicity:
+    @given(st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_wall_reflectivity_adds_paths_not_energy_loss(self, rho):
+        """Direct-path gain is unaffected by the wall coefficient."""
+        room = Room(bounds=Rectangle(-10, -10, 10, 10), wall_reflectivity=rho)
+        channel = clean_channel(room)
+        comps = channel.path_components(
+            np.array([0.0, 0.0]), np.array([3.0, 2.0]), 0.328
+        )
+        direct = next(c for c in comps if c.name == "direct")
+        free = clean_channel().path_components(
+            np.array([0.0, 0.0]), np.array([3.0, 2.0]), 0.328
+        )[0]
+        np.testing.assert_allclose(direct.gain, free.gain)

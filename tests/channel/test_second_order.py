@@ -1,0 +1,56 @@
+"""Second-order reflection geometry details."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import ChannelParams, MultipathChannel
+from repro.geometry import Rectangle, Room
+
+ANT = np.array([-3.0, -2.0])
+TAG = np.array([4.0, 3.0])
+LAM = 0.328
+
+
+def channel(order: int) -> MultipathChannel:
+    room = Room(bounds=Rectangle(-10, -10, 10, 10), wall_reflectivity=0.6)
+    return MultipathChannel(
+        room=room,
+        params=ChannelParams(diffuse_level=0.0),
+        rng=np.random.default_rng(0),
+        max_reflection_order=order,
+    )
+
+
+class TestCornerImages:
+    def test_amplitude_carries_squared_coefficient(self):
+        comps = {c.name: c for c in channel(2).path_components(ANT, TAG, LAM)}
+        for name, comp in comps.items():
+            if not name.startswith("wall2:"):
+                continue
+            # amp = rho^2 / d exactly (no blockers in this room).
+            expected = 0.6**2 / comp.distance[0]
+            assert np.abs(comp.gain[0]) == pytest.approx(expected, rel=1e-9)
+
+    def test_corner_distance_matches_double_mirror(self):
+        room = Room(bounds=Rectangle(-10, -10, 10, 10), wall_reflectivity=0.6)
+        comps = {c.name: c for c in channel(2).path_components(ANT, TAG, LAM)}
+        tag = TAG
+        # left+bottom corner image: mirror across bottom then left.
+        image = np.array([2 * -10 - tag[0], 2 * -10 - tag[1]])
+        expected = float(np.linalg.norm(image - ANT))
+        assert comps["wall2:left+bottom"].distance[0] == pytest.approx(expected)
+        del room
+
+    def test_reciprocity_holds_with_second_order(self):
+        ch = channel(2)
+        ab = ch.one_way_gain(ANT, TAG, LAM, include_diffuse=False)
+        ba = ch.one_way_gain(TAG, ANT, LAM, include_diffuse=False)
+        np.testing.assert_allclose(ab, ba, rtol=1e-9)
+
+    def test_superposition_still_exact(self):
+        ch = channel(2)
+        comps = ch.path_components(ANT, TAG, LAM)
+        total = ch.one_way_gain(ANT, TAG, LAM, include_diffuse=False)
+        np.testing.assert_allclose(total, sum(c.gain for c in comps))

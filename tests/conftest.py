@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive artifacts (reader sessions, small generated datasets) are
+session-scoped so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GenerationConfig, SyntheticDatasetGenerator
+from repro.geometry import Vec2, make_laboratory, make_open_space
+from repro.hardware import Reader, ReaderConfig, UniformLinearArray, make_tag, stationary_scene
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def open_space_reader() -> Reader:
+    """A reader in free space (single dominant path) with defaults."""
+    array = UniformLinearArray(center=Vec2(0.0, 0.0))
+    return Reader(ReaderConfig(array=array), make_open_space(), seed=11)
+
+
+@pytest.fixture(scope="session")
+def lab_reader() -> Reader:
+    """A reader in the high-multipath laboratory."""
+    room = make_laboratory()
+    array = UniformLinearArray(center=Vec2(room.bounds.width / 2.0, 0.3))
+    return Reader(ReaderConfig(array=array), room, seed=13)
+
+
+@pytest.fixture(scope="session")
+def small_log(lab_reader):
+    """A short three-tag inventory in the laboratory."""
+    gen = np.random.default_rng(7)
+    tags = [
+        (make_tag(f"fixture-{i}", gen), (5.0 + i * 0.8, 3.5 + 0.4 * i))
+        for i in range(3)
+    ]
+    return lab_reader.inventory(stationary_scene(tags), duration_s=3.2)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 3-class generated dataset shared by core/data/eval tests."""
+    config = GenerationConfig(
+        scenario_labels=("A01", "A03", "A05"),
+        samples_per_class=4,
+        duration_s=4.0,
+        calibration_s=20.0,
+        seed=99,
+    )
+    return SyntheticDatasetGenerator(config).generate()

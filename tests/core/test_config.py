@@ -1,0 +1,57 @@
+"""M2AIConfig validation and workload presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import M2AIConfig
+from repro.data import full_generation, full_training, quick_generation, quick_training, tiny_generation
+
+
+class TestM2AIConfig:
+    def test_defaults_valid(self):
+        cfg = M2AIConfig()
+        assert cfg.lstm_hidden == 32  # the paper's 32 memory cells
+        assert cfg.lstm_layers == 2  # two stacked LSTM layers
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            M2AIConfig(optimizer="lbfgs")
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            M2AIConfig(dropout=1.0)
+
+    def test_epochs_validation(self):
+        with pytest.raises(ValueError):
+            M2AIConfig(epochs=0)
+        with pytest.raises(ValueError):
+            M2AIConfig(batch_size=0)
+
+    def test_lstm_layers_validation(self):
+        with pytest.raises(ValueError):
+            M2AIConfig(lstm_layers=0)
+
+    def test_frozen(self):
+        cfg = M2AIConfig()
+        with pytest.raises(AttributeError):
+            cfg.epochs = 5  # type: ignore[misc]
+
+
+class TestWorkloadPresets:
+    def test_quick_smaller_than_full(self):
+        assert quick_generation().samples_per_class < full_generation().samples_per_class
+        assert quick_training().epochs <= full_training().epochs
+
+    def test_tiny_is_tiny(self):
+        tiny = tiny_generation()
+        assert len(tiny.scenario_labels) <= 4
+        assert tiny.samples_per_class <= 4
+
+    def test_presets_seedable(self):
+        assert quick_generation(seed=5).seed == 5
+        assert quick_training(seed=5).seed == 5
+
+    def test_all_presets_cover_every_class_by_default(self):
+        assert len(quick_generation().scenario_labels) == 12
+        assert len(full_generation().scenario_labels) == 12

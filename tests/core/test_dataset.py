@@ -1,0 +1,113 @@
+"""ActivityDataset and channel scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActivityDataset, ChannelScaler
+from repro.dsp.frames import FeatureFrames
+
+
+def make_sample(label: str, seed: int = 0, frames: int = 4) -> FeatureFrames:
+    rng = np.random.default_rng(seed)
+    return FeatureFrames(
+        channels={
+            "pseudo": rng.normal(size=(frames, 2, 10)),
+            "period": rng.normal(size=(frames, 2, 4)),
+        },
+        label=label,
+    )
+
+
+def make_dataset(per_class=4, classes=("A", "B", "C")):
+    samples, labels = [], []
+    seed = 0
+    for cls in classes:
+        for _ in range(per_class):
+            samples.append(make_sample(cls, seed))
+            labels.append(cls)
+            seed += 1
+    return ActivityDataset(samples=samples, labels=labels)
+
+
+class TestActivityDataset:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert len(ds) == 12
+        assert ds.classes == ["A", "B", "C"]
+        assert ds.channel_shapes == {"pseudo": (2, 10), "period": (2, 4)}
+
+    def test_labels_from_samples_when_missing(self):
+        samples = [make_sample("X"), make_sample("Y")]
+        ds = ActivityDataset(samples=samples)
+        assert ds.labels == ["X", "Y"]
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityDataset(samples=[make_sample("A"), make_sample("B", frames=7)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityDataset(samples=[])
+
+    def test_to_arrays(self):
+        ds = make_dataset()
+        channels, labels = ds.to_arrays()
+        assert channels["pseudo"].shape == (12, 4, 2, 10)
+        assert labels.shape == (12,)
+
+    def test_flatten_features(self):
+        ds = make_dataset()
+        flat = ds.flatten_features()
+        assert flat.shape == (12, 4 * 2 * 10 + 4 * 2 * 4)
+
+    def test_to_sequences(self):
+        ds = make_dataset()
+        seqs = ds.to_sequences()
+        assert seqs.shape == (12, 4, 2 * 10 + 2 * 4)
+
+    def test_split_stratified(self):
+        ds = make_dataset(per_class=5)
+        train, test = ds.split(0.2, np.random.default_rng(0))
+        assert len(train) + len(test) == len(ds)
+        assert sorted(set(test.labels)) == ["A", "B", "C"]
+
+    def test_split_disjoint_and_complete(self):
+        ds = make_dataset(per_class=5)
+        train, test = ds.split(0.4, np.random.default_rng(1))
+        # Compare by object identity of the FeatureFrames.
+        train_ids = {id(s) for s in train.samples}
+        test_ids = {id(s) for s in test.samples}
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == len(ds)
+
+    def test_subset(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([0, 5]))
+        assert len(sub) == 2
+        assert sub.labels == [ds.labels[0], ds.labels[5]]
+
+
+class TestChannelScaler:
+    def test_standardises_per_channel(self):
+        ds = make_dataset()
+        channels, _ = ds.to_arrays()
+        scaled = ChannelScaler().fit_transform(channels)
+        for arr in scaled.values():
+            flat = arr.reshape(-1, arr.shape[-1])
+            np.testing.assert_allclose(flat.mean(axis=0), 0.0, atol=1e-9)
+            np.testing.assert_allclose(flat.std(axis=0), 1.0, atol=1e-6)
+
+    def test_train_statistics_reused(self):
+        ds = make_dataset()
+        channels, _ = ds.to_arrays()
+        scaler = ChannelScaler().fit(channels)
+        shifted = {k: v + 100.0 for k, v in channels.items()}
+        out = scaler.transform(shifted)
+        for arr in out.values():
+            assert arr.mean() > 50  # not re-centred
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ChannelScaler().transform({"x": np.zeros((1, 1, 1, 1))})

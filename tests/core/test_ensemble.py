@@ -1,0 +1,82 @@
+"""Seed-ensemble behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActivityDataset, M2AIConfig
+from repro.core.ensemble import M2AIEnsemble
+from repro.dsp.frames import FeatureFrames
+
+CFG = M2AIConfig(
+    conv_channels=(3, 4),
+    branch_dim=6,
+    merge_dim=8,
+    lstm_hidden=6,
+    lstm_layers=1,
+    dropout=0.0,
+    epochs=10,
+    batch_size=8,
+    learning_rate=0.01,
+    warmup_frames=1,
+    augment=False,
+)
+
+
+def make_dataset(per_class=10, seed=0):
+    rng = np.random.default_rng(seed)
+    samples, labels = [], []
+    for cls in range(3):
+        for _ in range(per_class):
+            pseudo = rng.normal(0, 0.4, (4, 2, 40))
+            pseudo[:, :, 5 + cls * 10 : 12 + cls * 10] += 1.5
+            samples.append(
+                FeatureFrames(
+                    channels={"pseudo": pseudo, "period": rng.normal(size=(4, 2, 4))},
+                    label=f"K{cls}",
+                )
+            )
+            labels.append(f"K{cls}")
+    return ActivityDataset(samples=samples, labels=labels)
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble():
+    ds = make_dataset()
+    train, test = ds.split(0.25, np.random.default_rng(0))
+    ensemble = M2AIEnsemble(CFG, n_members=3).fit(train, val=test)
+    return ensemble, train, test
+
+
+class TestEnsemble:
+    def test_members_trained_with_distinct_seeds(self, fitted_ensemble):
+        ensemble, _train, _test = fitted_ensemble
+        seeds = [m.config.seed for m in ensemble.members]
+        assert len(set(seeds)) == 3
+
+    def test_probabilities_normalised(self, fitted_ensemble):
+        ensemble, _train, test = fitted_ensemble
+        proba = ensemble.predict_proba(test)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_ensemble_at_least_competitive(self, fitted_ensemble):
+        ensemble, _train, test = fitted_ensemble
+        committee = ensemble.evaluate(test).accuracy
+        members = ensemble.member_accuracies(test)
+        # The committee should not fall below the weakest member by
+        # more than one test sample's worth.
+        assert committee >= min(members) - (1.0 / len(test)) - 1e-9
+
+    def test_predictions_in_vocabulary(self, fitted_ensemble):
+        ensemble, _train, test = fitted_ensemble
+        assert set(ensemble.predict(test).tolist()) <= {"K0", "K1", "K2"}
+
+    def test_unfitted_raises(self):
+        ds = make_dataset(per_class=2)
+        with pytest.raises(RuntimeError):
+            M2AIEnsemble(CFG).predict(ds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            M2AIEnsemble(CFG, n_members=0)

@@ -1,0 +1,107 @@
+"""Pipeline save/load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActivityDataset, M2AIConfig, M2AIPipeline
+from repro.core.serialization import load_pipeline, save_pipeline
+from repro.dsp.frames import FeatureFrames
+
+CFG = M2AIConfig(
+    conv_channels=(3, 4),
+    branch_dim=6,
+    merge_dim=8,
+    lstm_hidden=6,
+    lstm_layers=1,
+    dropout=0.0,
+    epochs=8,
+    batch_size=8,
+    learning_rate=0.01,
+    warmup_frames=1,
+    augment=False,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    samples, labels = [], []
+    for cls in range(3):
+        for _ in range(8):
+            pseudo = rng.normal(0, 0.3, (4, 2, 40))
+            pseudo[:, :, 5 + cls * 10 : 12 + cls * 10] += 2.0
+            samples.append(
+                FeatureFrames(
+                    channels={"pseudo": pseudo, "period": rng.normal(size=(4, 2, 4))},
+                    label=f"K{cls}",
+                )
+            )
+            labels.append(f"K{cls}")
+    ds = ActivityDataset(samples=samples, labels=labels)
+    pipeline = M2AIPipeline(CFG).fit(ds)
+    return pipeline, ds
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, fitted, tmp_path):
+        pipeline, ds = fitted
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        np.testing.assert_array_equal(restored.predict(ds), pipeline.predict(ds))
+
+    def test_config_and_mode_preserved(self, fitted, tmp_path):
+        pipeline, _ds = fitted
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored.config == pipeline.config
+        assert restored.mode == pipeline.mode
+
+    def test_classes_preserved(self, fitted, tmp_path):
+        pipeline, _ds = fitted
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        assert restored._encoder.classes_.tolist() == ["K0", "K1", "K2"]
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_pipeline(M2AIPipeline(CFG), tmp_path / "x.npz")
+
+    def test_loaded_pipeline_can_fine_tune(self, fitted, tmp_path):
+        pipeline, ds = fitted
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        restored = load_pipeline(path)
+        restored.fine_tune(ds, epochs=2)
+        result = restored.evaluate(ds)
+        assert result.accuracy > 0.8
+
+
+class TestFineTune:
+    def test_unfitted_rejected(self, fitted):
+        _pipeline, ds = fitted
+        with pytest.raises(RuntimeError):
+            M2AIPipeline(CFG).fine_tune(ds)
+
+    def test_fine_tune_improves_on_shifted_data(self, fitted):
+        pipeline, ds = fitted
+        rng = np.random.default_rng(5)
+        shifted_samples = []
+        for s in ds.samples:
+            shifted_samples.append(
+                FeatureFrames(
+                    channels={
+                        k: v + rng.normal(0, 0.8, v.shape) for k, v in s.channels.items()
+                    },
+                    label=s.label,
+                )
+            )
+        shifted = ActivityDataset(samples=shifted_samples, labels=list(ds.labels))
+        before = pipeline.evaluate(shifted).accuracy
+        pipeline.fine_tune(shifted, epochs=6)
+        after = pipeline.evaluate(shifted).accuracy
+        assert after >= before

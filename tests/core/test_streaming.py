@@ -1,0 +1,123 @@
+"""Streaming identification over a continuous multi-activity log."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActivityDataset, M2AIConfig, M2AIPipeline
+from repro.core.streaming import StreamingIdentifier, WindowDecision
+from repro.dsp.calibration import PhaseCalibrator
+from repro.dsp.features import M2AIFeaturizer
+from repro.geometry import Vec2, make_laboratory
+from repro.hardware import (
+    Reader,
+    ReaderConfig,
+    Scene,
+    TagTrack,
+    UniformLinearArray,
+    concatenate_logs,
+    make_tag,
+)
+from repro.motion import get_primitive, perform
+
+WINDOW_S = 4.0
+SLOT_S = 0.025
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    """Train a 2-class pipeline and build a continuous A-then-B log."""
+    room = make_laboratory()
+    array = UniformLinearArray(center=Vec2(room.bounds.width / 2.0, 0.3))
+    reader = Reader(ReaderConfig(array=array), room, seed=17)
+    rng = np.random.default_rng(4)
+    anchor = Vec2(room.bounds.width / 2.0 + 0.8, 4.0)
+    tags = [make_tag(f"S{i}", rng) for i in range(3)]
+
+    def scene_for(primitive_name: str, t_offset: float, duration: float) -> Scene:
+        n_slots = int(round(duration / SLOT_S))
+        t = t_offset + (np.arange(n_slots) + 0.5) * SLOT_S
+        motion = perform(
+            get_primitive(primitive_name), anchor, t, rng, facing=np.pi / 2
+        )
+        tracks = tuple(
+            TagTrack(tag=tags[i], positions=motion.tag_position(site), carrier=0)
+            for i, site in enumerate(("hand", "arm", "shoulder"))
+        )
+        return Scene(tag_tracks=tracks, bodies=(motion.body_track(),))
+
+    # Calibration bootstrap.
+    calibration = reader.inventory(scene_for("stand_still", 0.0, 20.0), 20.0)
+    calibrator = PhaseCalibrator.fit(calibration)
+
+    # Training corpus: repeated executions of both activities.
+    featurizer = M2AIFeaturizer()
+    n_frames = int(round(WINDOW_S / reader.hopper.dwell_s))
+    samples, labels = [], []
+    for label, primitive in (("wave", "wave_hand"), ("walk", "walk_line")):
+        for _rep in range(6):
+            log = reader.inventory(scene_for(primitive, 0.0, WINDOW_S), WINDOW_S)
+            psi = calibrator.calibrate(log)
+            samples.append(
+                featurizer.transform(log, psi, n_frames=n_frames, label=label)
+            )
+            labels.append(label)
+    dataset = ActivityDataset(samples=samples, labels=labels)
+    cfg = M2AIConfig(epochs=15, batch_size=6, warmup_frames=2, seed=1)
+    pipeline = M2AIPipeline(cfg).fit(dataset)
+
+    # Continuous stream: wave for 2 windows, then walk for 2 windows.
+    part_a = reader.inventory(scene_for("wave_hand", 0.0, 2 * WINDOW_S), 2 * WINDOW_S)
+    part_b = reader.inventory(
+        scene_for("walk_line", 2 * WINDOW_S, 2 * WINDOW_S),
+        2 * WINDOW_S,
+        t0=2 * WINDOW_S,
+    )
+    stream = concatenate_logs([part_a, part_b])
+    return pipeline, calibrator, stream
+
+
+class TestStreamingIdentifier:
+    def test_emits_one_decision_per_window(self, stream_setup):
+        pipeline, calibrator, stream = stream_setup
+        identifier = StreamingIdentifier(
+            pipeline, calibrator=calibrator, window_s=WINDOW_S
+        )
+        decisions = identifier.identify(stream)
+        assert len(decisions) == 4
+        for d in decisions:
+            assert isinstance(d, WindowDecision)
+            assert d.t_end_s - d.t_start_s == pytest.approx(WINDOW_S)
+            assert 0.0 < d.confidence <= 1.0
+            assert d.label in ("wave", "walk")
+
+    def test_majority_of_windows_correct(self, stream_setup):
+        pipeline, calibrator, stream = stream_setup
+        identifier = StreamingIdentifier(
+            pipeline, calibrator=calibrator, window_s=WINDOW_S
+        )
+        decisions = identifier.identify(stream)
+        truth = ["wave", "wave", "walk", "walk"]
+        hits = sum(d.label == t for d, t in zip(decisions, truth))
+        assert hits >= 3
+
+    def test_overlapping_hop(self, stream_setup):
+        pipeline, calibrator, stream = stream_setup
+        identifier = StreamingIdentifier(
+            pipeline, calibrator=calibrator, window_s=WINDOW_S, hop_s=WINDOW_S / 2
+        )
+        decisions = identifier.identify(stream)
+        assert len(decisions) == 7  # (16 - 4) / 2 + 1
+
+    def test_empty_log(self, stream_setup):
+        pipeline, calibrator, stream = stream_setup
+        identifier = StreamingIdentifier(pipeline, calibrator=calibrator)
+        empty = stream.select(np.zeros(stream.n_reads, dtype=bool))
+        assert identifier.identify(empty) == []
+
+    def test_unfitted_rejected(self, stream_setup):
+        _pipeline, calibrator, stream = stream_setup
+        identifier = StreamingIdentifier(M2AIPipeline(), calibrator=calibrator)
+        with pytest.raises(RuntimeError):
+            identifier.identify(stream)

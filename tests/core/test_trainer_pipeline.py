@@ -1,0 +1,145 @@
+"""Trainer and pipeline on synthetic frame data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActivityDataset, M2AIConfig, M2AINet, M2AIPipeline, Trainer
+from repro.core.augment import AugmentConfig, augment_batch
+from repro.dsp.frames import FeatureFrames
+
+TINY_CFG = M2AIConfig(
+    conv_channels=(3, 4),
+    branch_dim=6,
+    merge_dim=8,
+    lstm_hidden=6,
+    lstm_layers=1,
+    dropout=0.0,
+    epochs=25,
+    batch_size=8,
+    learning_rate=0.01,
+    warmup_frames=1,
+    augment=False,
+)
+
+
+def synthetic_dataset(per_class=12, frames=5, seed=0):
+    """Classes distinguished by which 'angle' band lights up."""
+    rng = np.random.default_rng(seed)
+    samples, labels = [], []
+    for cls in range(3):
+        for _ in range(per_class):
+            pseudo = rng.normal(0, 0.3, (frames, 2, 40))
+            pseudo[:, :, 5 + cls * 12 : 12 + cls * 12] += 2.0
+            period = rng.normal(0, 0.3, (frames, 2, 4))
+            period[:, :, cls % 4] += float(cls)
+            samples.append(
+                FeatureFrames(
+                    channels={"pseudo": pseudo, "period": period}, label=f"K{cls}"
+                )
+            )
+            labels.append(f"K{cls}")
+    return ActivityDataset(samples=samples, labels=labels)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        ds = synthetic_dataset()
+        channels, labels = ds.to_arrays()
+        ids = np.array([int(label[1]) for label in labels])
+        net = M2AINet(ds.channel_shapes, 3, cfg=TINY_CFG)
+        trainer = Trainer(net, TINY_CFG)
+        history = trainer.fit(channels, ids)
+        assert history.loss[-1] < history.loss[0]
+
+    def test_fits_separable_data(self):
+        ds = synthetic_dataset()
+        channels, labels = ds.to_arrays()
+        ids = np.array([int(label[1]) for label in labels])
+        net = M2AINet(ds.channel_shapes, 3, cfg=TINY_CFG)
+        trainer = Trainer(net, TINY_CFG)
+        trainer.fit(channels, ids)
+        assert trainer.accuracy(channels, ids) > 0.9
+
+    def test_best_val_snapshot_restored(self):
+        ds = synthetic_dataset()
+        channels, labels = ds.to_arrays()
+        ids = np.array([int(label[1]) for label in labels])
+        net = M2AINet(ds.channel_shapes, 3, cfg=TINY_CFG)
+        trainer = Trainer(net, TINY_CFG)
+        history = trainer.fit(channels, ids, channels, ids)
+        final = trainer.accuracy(channels, ids)
+        assert final == pytest.approx(max(history.val_accuracy), abs=1e-9)
+
+    def test_sgd_optimizer_path(self):
+        cfg = M2AIConfig(
+            conv_channels=(3, 4), branch_dim=6, merge_dim=8, lstm_hidden=6,
+            lstm_layers=1, dropout=0.0, epochs=10, batch_size=8,
+            learning_rate=0.05, optimizer="sgd", warmup_frames=1, augment=False,
+        )
+        ds = synthetic_dataset()
+        channels, labels = ds.to_arrays()
+        ids = np.array([int(label[1]) for label in labels])
+        net = M2AINet(ds.channel_shapes, 3, cfg=cfg)
+        history = Trainer(net, cfg).fit(channels, ids)
+        assert history.loss[-1] < history.loss[0]
+
+
+class TestAugmentation:
+    def test_shapes_preserved(self):
+        ds = synthetic_dataset(per_class=2)
+        channels, _ = ds.to_arrays()
+        out = augment_batch(channels, np.random.default_rng(0))
+        for name in channels:
+            assert out[name].shape == channels[name].shape
+
+    def test_inputs_not_mutated(self):
+        ds = synthetic_dataset(per_class=2)
+        channels, _ = ds.to_arrays()
+        before = {k: v.copy() for k, v in channels.items()}
+        augment_batch(channels, np.random.default_rng(0))
+        for name in channels:
+            np.testing.assert_allclose(channels[name], before[name])
+
+    def test_noise_only_config(self):
+        ds = synthetic_dataset(per_class=2)
+        channels, _ = ds.to_arrays()
+        cfg = AugmentConfig(angle_shift_bins=0, time_roll_frames=0, noise_std=0.1)
+        out = augment_batch(channels, np.random.default_rng(0), cfg)
+        diff = out["pseudo"] - channels["pseudo"]
+        assert 0.05 < diff.std() < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AugmentConfig(noise_std=-1.0)
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        ds = synthetic_dataset(per_class=10)
+        train, test = ds.split(0.25, np.random.default_rng(0))
+        pipeline = M2AIPipeline(TINY_CFG)
+        pipeline.fit(train, val=test)
+        result = pipeline.evaluate(test)
+        assert result.accuracy > 0.8
+        assert result.confusion.counts.sum() == len(test)
+
+    def test_unfitted_predict_raises(self):
+        ds = synthetic_dataset(per_class=2)
+        with pytest.raises(RuntimeError):
+            M2AIPipeline(TINY_CFG).predict(ds)
+
+    def test_predict_labels_are_strings(self):
+        ds = synthetic_dataset(per_class=6)
+        train, test = ds.split(0.3, np.random.default_rng(0))
+        pipeline = M2AIPipeline(TINY_CFG).fit(train)
+        predictions = pipeline.predict(test)
+        assert set(predictions.tolist()) <= {"K0", "K1", "K2"}
+
+    @pytest.mark.parametrize("mode", ["cnn", "lstm"])
+    def test_ablation_modes_run(self, mode):
+        ds = synthetic_dataset(per_class=6)
+        train, test = ds.split(0.3, np.random.default_rng(0))
+        pipeline = M2AIPipeline(TINY_CFG, mode=mode).fit(train)
+        assert pipeline.evaluate(test).accuracy >= 0.3

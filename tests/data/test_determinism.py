@@ -1,0 +1,73 @@
+"""Cross-process reproducibility guarantees.
+
+Simulations must be byte-identical across interpreter runs: every
+stochastic element is seeded via numpy generators or the CRC32-based
+stable hash (PYTHONHASHSEED randomisation must not leak in).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.hardware.tag import stable_seed
+
+_SCRIPT = """
+import numpy as np
+from repro.data import GenerationConfig, SyntheticDatasetGenerator
+cfg = GenerationConfig(scenario_labels=("A01",), samples_per_class=1,
+                       duration_s=1.6, calibration_s=20.0, seed=313)
+raw = SyntheticDatasetGenerator(cfg).generate_raw()[0]
+print(repr(float(raw.log.phase_rad.sum())))
+print(repr(float(raw.log.rssi_dbm.sum())))
+print(raw.log.n_reads)
+"""
+
+
+def _run_subprocess() -> list[str]:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout.strip().splitlines()
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_distinct_inputs_distinct_seeds(self):
+        seeds = {stable_seed("tag", i) for i in range(50)}
+        assert len(seeds) == 50
+
+    def test_32_bit_range(self):
+        for value in ("x", 123, ("a", "b")):
+            assert 0 <= stable_seed(value) < 2**32
+
+
+class TestCrossProcessDeterminism:
+    def test_two_fresh_interpreters_agree(self):
+        """Each subprocess gets a different PYTHONHASHSEED; the
+        simulated log must not notice."""
+        first = _run_subprocess()
+        second = _run_subprocess()
+        assert first == second
+
+    def test_subprocess_matches_in_process(self):
+        from repro.data import GenerationConfig, SyntheticDatasetGenerator
+
+        cfg = GenerationConfig(
+            scenario_labels=("A01",),
+            samples_per_class=1,
+            duration_s=1.6,
+            calibration_s=20.0,
+            seed=313,
+        )
+        raw = SyntheticDatasetGenerator(cfg).generate_raw()[0]
+        lines = _run_subprocess()
+        assert float(lines[0]) == float(np.sum(raw.log.phase_rad))
+        assert int(lines[2]) == raw.log.n_reads

@@ -1,0 +1,35 @@
+"""Cross-checks between workload presets and experiment drivers."""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.eval import ALL_EXPERIMENTS
+
+
+class TestDriverHygiene:
+    def test_every_driver_returns_experiment_result(self):
+        import repro.eval.reporting as reporting
+
+        for name, fn in ALL_EXPERIMENTS.items():
+            signature = inspect.signature(fn)
+            annotation = signature.return_annotation
+            assert annotation in (
+                "ExperimentResult",
+                reporting.ExperimentResult,
+            ), name
+
+    def test_driver_docstrings_cite_their_artifact(self):
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").lower()
+            assert doc.strip(), f"{name} driver lacks a docstring"
+
+    def test_benchmark_files_cover_every_driver(self):
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        text = "\n".join(
+            p.read_text() for p in bench_dir.glob("bench_*.py")
+        )
+        for name, fn in ALL_EXPERIMENTS.items():
+            assert fn.__name__ in text, f"no benchmark invokes {fn.__name__}"

@@ -1,0 +1,88 @@
+"""Circular statistics, with hypothesis identities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    circular_distance,
+    circular_mean,
+    circular_median,
+    fold_double,
+    wrap_2pi,
+    wrap_pm_pi,
+)
+
+angle = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestWrapping:
+    @given(angle)
+    def test_wrap_2pi_range(self, a):
+        w = float(wrap_2pi(a))
+        assert 0.0 <= w < 2 * np.pi
+
+    @given(angle)
+    def test_wrap_pm_pi_range(self, a):
+        w = float(wrap_pm_pi(a))
+        assert -np.pi < w <= np.pi + 1e-12
+
+    @given(angle)
+    def test_wraps_agree_mod_2pi(self, a):
+        diff = float(wrap_2pi(a)) - float(wrap_pm_pi(a))
+        assert abs(diff % (2 * np.pi)) < 1e-9 or abs(diff % (2 * np.pi) - 2 * np.pi) < 1e-9
+
+
+class TestFoldDouble:
+    @given(angle)
+    def test_pi_ambiguity_removed(self, a):
+        d = circular_distance(float(fold_double(a)), float(fold_double(a + np.pi)))
+        assert float(d) < 1e-7
+
+    @given(angle)
+    def test_doubling(self, a):
+        d = circular_distance(float(fold_double(a)), float(wrap_2pi(2 * a)))
+        assert float(d) < 1e-9
+
+
+class TestCircularStats:
+    def test_mean_of_concentrated_sample(self):
+        samples = np.array([0.1, 0.2, 6.2])  # wraps across 0
+        assert abs(wrap_pm_pi(circular_mean(samples) - 0.05)) < 0.2
+
+    def test_median_robust_to_outlier(self):
+        samples = np.array([1.0, 1.01, 0.99, 1.02, 4.0])
+        assert circular_median(samples) == pytest.approx(1.01, abs=0.05)
+
+    def test_median_wraps(self):
+        samples = np.array([6.25, 6.28, 0.02, 0.05])
+        med = circular_median(samples)
+        assert circular_distance(med, 0.0)[()] < 0.1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([]))
+        with pytest.raises(ValueError):
+            circular_median(np.array([]))
+
+    @given(st.lists(angle, min_size=1, max_size=30), angle)
+    def test_median_rotation_equivariant(self, values, shift):
+        arr = np.array(values)
+        a = circular_median(wrap_2pi(arr + shift))
+        b = wrap_2pi(circular_median(wrap_2pi(arr)) + shift)
+        # Equivariance can legitimately break for dispersed samples
+        # (the circular median is not unique then); restrict to
+        # concentrated samples.
+        spread = np.abs(wrap_pm_pi(arr - circular_mean(arr))).max()
+        if spread < 1.0:
+            assert circular_distance(a, b)[()] < 1e-6
+
+    def test_distance_symmetric_and_bounded(self):
+        a, b = 0.3, 6.0
+        d1 = float(circular_distance(a, b))
+        d2 = float(circular_distance(b, a))
+        assert d1 == pytest.approx(d2)
+        assert 0 <= d1 <= np.pi

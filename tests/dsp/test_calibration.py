@@ -1,0 +1,109 @@
+"""Phase calibration (Eq. 1) against the simulated reader's offsets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp import PhaseCalibrator, circular_distance, fold_double, uncalibrated
+from repro.dsp.angles import circular_median, wrap_pm_pi
+from repro.geometry import Vec2, make_open_space
+from repro.hardware import Reader, ReaderConfig, UniformLinearArray, make_tag, stationary_scene
+
+
+def session(seed=0):
+    array = UniformLinearArray(center=Vec2(0.0, 0.0))
+    reader = Reader(ReaderConfig(array=array), make_open_space(), seed=seed)
+    rng = np.random.default_rng(seed)
+    scene = stationary_scene([(make_tag("cal", rng), (3.5, 3.5))])
+    return reader, scene
+
+
+def hop_scatter(psi: np.ndarray, log, antenna=0) -> float:
+    """Circular std of doubled phases across hops for one antenna."""
+    mask = log.antenna == antenna
+    values = psi[mask]
+    centre = circular_median(values)
+    return float(np.std(wrap_pm_pi(values - centre)))
+
+
+class TestCalibration:
+    def test_removes_hop_scatter_on_stationary_tag(self):
+        reader, scene = session(1)
+        calibrator = PhaseCalibrator.fit(reader.inventory(scene, 20.0))
+        runtime = reader.inventory(scene, 6.0)
+        raw = uncalibrated(runtime)
+        cal = calibrator.calibrate(runtime)
+        assert hop_scatter(cal, runtime) < 0.45
+        assert hop_scatter(raw, runtime) > 3 * hop_scatter(cal, runtime)
+
+    def test_calibrated_phase_matches_reference_geometry(self):
+        # On the calibration scene itself the calibrated phase should sit
+        # at the reference-channel median of the bootstrap.
+        reader, scene = session(2)
+        cal_log = reader.inventory(scene, 20.0)
+        calibrator = PhaseCalibrator.fit(cal_log)
+        runtime = reader.inventory(scene, 4.0)
+        cal = calibrator.calibrate(runtime)
+        psi_cal_log = fold_double(cal_log.phase_rad)
+        for antenna in range(4):
+            ref_mask = (cal_log.antenna == antenna) & (
+                cal_log.channel == cal_log.meta.reference_channel
+            )
+            if not ref_mask.any():
+                continue
+            expected = circular_median(psi_cal_log[ref_mask])
+            got = circular_median(cal[runtime.antenna == antenna])
+            assert float(circular_distance(got, expected)) < 0.25
+
+    def test_linear_fit_extrapolates_unseen_channels(self):
+        reader, scene = session(3)
+        # 8 s bootstrap covers only ~20 of 50 channels.
+        calibrator = PhaseCalibrator.fit(reader.inventory(scene, 8.0))
+        assert calibrator.coverage(0, 0) < 0.7
+        runtime = reader.inventory(scene, 8.0, t0=100.0)
+        cal = calibrator.calibrate(runtime)
+        # Extrapolated channels keep the scatter low-ish.
+        assert hop_scatter(cal, runtime) < 0.8
+
+    def test_full_bootstrap_covers_all_channels(self):
+        reader, scene = session(4)
+        calibrator = PhaseCalibrator.fit(reader.inventory(scene, 20.0))
+        assert calibrator.coverage(0, 0) > 0.9
+
+    def test_missing_tag_passthrough(self):
+        reader, scene = session(5)
+        calibrator = PhaseCalibrator.fit(reader.inventory(scene, 20.0))
+        rng = np.random.default_rng(9)
+        other = stationary_scene([(make_tag("cal", rng), (3.5, 3.5)),
+                                  (make_tag("new", rng), (2.0, 4.0))])
+        runtime = reader.inventory(other, 2.0)
+        cal = calibrator.calibrate(runtime)
+        # Tag 1 was never calibrated: its doubled phases pass through
+        # without offset removal.
+        mask = runtime.tag_index == 1
+        np.testing.assert_allclose(cal[mask], fold_double(runtime.phase_rad)[mask])
+
+    def test_empty_log_rejected(self):
+        reader, scene = session(6)
+        log = reader.inventory(scene, 4.0)
+        with pytest.raises(ValueError):
+            PhaseCalibrator.fit(log.select(np.zeros(log.n_reads, dtype=bool)))
+
+    def test_output_range(self):
+        reader, scene = session(7)
+        calibrator = PhaseCalibrator.fit(reader.inventory(scene, 20.0))
+        cal = calibrator.calibrate(reader.inventory(scene, 2.0))
+        assert (cal >= 0).all() and (cal < 2 * np.pi).all()
+
+
+class TestUncalibrated:
+    def test_is_truly_raw(self):
+        """The Fig. 10 baseline must keep the pi ambiguity: raw phases,
+        not the folded/doubled representation calibration works in."""
+        reader, scene = session(8)
+        log = reader.inventory(scene, 2.0)
+        np.testing.assert_allclose(uncalibrated(log), log.phase_rad)
+        # Raw phases still carry the ambiguity: doubling them changes
+        # the values (they are not already folded).
+        assert not np.allclose(uncalibrated(log), fold_double(log.phase_rad))

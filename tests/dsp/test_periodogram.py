@@ -1,0 +1,82 @@
+"""Periodogram estimation (Eq. 13-16) and Parseval's theorem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsp import periodogram_psd, spatial_periodogram, total_power
+
+complex_seq = st.lists(
+    st.tuples(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=64,
+)
+
+
+class TestPeriodogram:
+    @given(complex_seq)
+    def test_parseval(self, pairs):
+        """Eq. 16's footnote: the transform is unitary (Parseval)."""
+        y = np.array([re + 1j * im for re, im in pairs])
+        psd = periodogram_psd(y)
+        assert psd.sum() == pytest.approx(total_power(y), rel=1e-9, abs=1e-9)
+
+    @given(complex_seq)
+    def test_nonnegative(self, pairs):
+        y = np.array([re + 1j * im for re, im in pairs])
+        assert (periodogram_psd(y) >= 0).all()
+
+    def test_pure_tone_concentrates(self):
+        n = 32
+        k = 5
+        y = np.exp(2j * np.pi * k * np.arange(n) / n)
+        psd = periodogram_psd(y)
+        assert psd.argmax() == k
+        assert psd[k] == pytest.approx(n, rel=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            periodogram_psd(np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            periodogram_psd(np.zeros((3, 3)))
+
+
+class TestSpatialPeriodogram:
+    def test_shape_is_antenna_count(self):
+        snapshots = np.ones((4, 4), dtype=complex)
+        assert spatial_periodogram(snapshots).shape == (4,)
+
+    def test_averages_over_snapshots(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(8, 4)) + 1j * rng.normal(size=(8, 4))
+        per = spatial_periodogram(z)
+        manual = np.mean([periodogram_psd(z[k]) for k in range(8)], axis=0)
+        np.testing.assert_allclose(per, manual)
+
+    def test_valid_mask_drops_incomplete(self):
+        z = np.ones((3, 4), dtype=complex)
+        z[1] = 100.0  # corrupted snapshot...
+        valid = np.ones((3, 4), dtype=bool)
+        valid[1, 2] = False  # ...is marked incomplete
+        per = spatial_periodogram(z, valid)
+        np.testing.assert_allclose(per, spatial_periodogram(z[[0, 2]]))
+
+    def test_all_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_periodogram(np.ones((3, 4), dtype=complex), np.zeros((3, 4), bool))
+
+    def test_zero_fill_fallback_when_all_partial(self):
+        z = np.ones((2, 4), dtype=complex)
+        valid = np.ones((2, 4), dtype=bool)
+        valid[:, 0] = False
+        # No complete snapshot: falls back to using what exists.
+        per = spatial_periodogram(z, valid)
+        assert per.shape == (4,)

@@ -1,0 +1,73 @@
+"""Harness memoisation: one corpus, one training, many drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import M2AIConfig
+from repro.data import GenerationConfig
+from repro.eval import clear_cache, get_dataset, train_eval_m2ai
+
+TINY = GenerationConfig(
+    scenario_labels=("A01", "A03"),
+    samples_per_class=3,
+    duration_s=3.2,
+    calibration_s=20.0,
+    seed=171,
+)
+TRAIN = M2AIConfig(
+    conv_channels=(3, 4), branch_dim=6, merge_dim=8, lstm_hidden=6,
+    lstm_layers=1, epochs=3, batch_size=4, warmup_frames=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestDatasetMemo:
+    def test_same_object_returned(self):
+        a = get_dataset(TINY)
+        b = get_dataset(TINY)
+        assert a is b
+
+    def test_featurizer_key_separates(self):
+        from repro.dsp.features import RssiFeaturizer
+
+        a = get_dataset(TINY)
+        b = get_dataset(TINY, featurizer=RssiFeaturizer())
+        assert a is not b
+        assert set(b.channel_shapes) == {"rssi"}
+
+    def test_calibration_key_separates(self):
+        a = get_dataset(TINY, use_calibration=True)
+        b = get_dataset(TINY, use_calibration=False)
+        assert a is not b
+
+
+class TestTrainMemo:
+    def test_repeat_call_returns_same_model(self):
+        ds = get_dataset(TINY)
+        result_a, pipe_a = train_eval_m2ai(ds, TRAIN, split_seed=0, test_fraction=0.34)
+        result_b, pipe_b = train_eval_m2ai(ds, TRAIN, split_seed=0, test_fraction=0.34)
+        assert pipe_a is pipe_b
+        assert result_a.accuracy == result_b.accuracy
+
+    def test_different_mode_not_shared(self):
+        ds = get_dataset(TINY)
+        _r1, pipe_a = train_eval_m2ai(ds, TRAIN, mode="cnn_lstm", split_seed=0, test_fraction=0.34)
+        _r2, pipe_b = train_eval_m2ai(ds, TRAIN, mode="cnn", split_seed=0, test_fraction=0.34)
+        assert pipe_a is not pipe_b
+
+    def test_clear_cache_resets(self):
+        ds = get_dataset(TINY)
+        _r, pipe_a = train_eval_m2ai(ds, TRAIN, split_seed=0, test_fraction=0.34)
+        clear_cache()
+        ds2 = get_dataset(TINY)
+        _r2, pipe_b = train_eval_m2ai(ds2, TRAIN, split_seed=0, test_fraction=0.34)
+        assert pipe_a is not pipe_b

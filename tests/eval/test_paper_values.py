@@ -1,0 +1,75 @@
+"""Paper-constant sanity: the encoded reference values stay faithful.
+
+These tests pin the numbers the drivers claim the paper reports —
+documentation-as-test, so a future edit cannot silently drift the
+reference points the measured values are compared against.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.eval import experiments
+
+
+class TestHeadlineConstants:
+    def test_fig09_m2ai_97(self):
+        source = inspect.getsource(experiments.run_fig09)
+        assert '"M2AI", 0.97' in source or '(0.97, False)' in source
+
+    def test_fig10_calibration_contrast(self):
+        source = inspect.getsource(experiments.run_fig10)
+        assert "0.97" in source and "0.52" in source
+
+    def test_fig11_three_person_80(self):
+        source = inspect.getsource(experiments.run_fig11)
+        assert "0.80" in source or "0.8" in source
+
+    def test_fig17_gaps(self):
+        # CNN-only -30 points, LSTM-only -25 points from 97%.
+        source = inspect.getsource(experiments.run_fig17)
+        assert "0.67" in source and "0.72" in source
+
+
+class TestHardwareConstants:
+    def test_r420_facts(self):
+        from repro.hardware.hopping import (
+            DEFAULT_BASE_MHZ,
+            DEFAULT_DWELL_S,
+            DEFAULT_N_CHANNELS,
+            DEFAULT_STEP_MHZ,
+            REFERENCE_FREQ_MHZ,
+        )
+
+        assert DEFAULT_N_CHANNELS == 50
+        assert DEFAULT_BASE_MHZ == 902.75
+        assert DEFAULT_STEP_MHZ == 0.5
+        assert DEFAULT_DWELL_S == 0.4
+        assert REFERENCE_FREQ_MHZ == 910.25
+
+    def test_antenna_spacing_lambda_8(self):
+        from repro.hardware.antenna import DEFAULT_SPACING_M, DEFAULT_WAVELENGTH_M
+
+        assert abs(DEFAULT_SPACING_M - DEFAULT_WAVELENGTH_M / 8) < 1e-12
+
+    def test_room_sizes(self):
+        from repro.geometry import make_hall, make_laboratory
+
+        lab, hall = make_laboratory(), make_hall()
+        assert (lab.bounds.width, lab.bounds.height) == (13.75, 10.50)
+        assert (hall.bounds.width, hall.bounds.height) == (8.75, 7.50)
+
+    def test_network_constants(self):
+        from repro.core import M2AIConfig
+
+        cfg = M2AIConfig()
+        assert cfg.lstm_hidden == 32
+        assert cfg.lstm_layers == 2
+
+    def test_twelve_scenarios_three_tags(self):
+        from repro.data import GenerationConfig
+        from repro.motion import ATTACHMENTS, SCENARIOS
+
+        assert len(SCENARIOS) == 12
+        assert GenerationConfig().tags_per_person == 3
+        assert ATTACHMENTS == ("hand", "arm", "shoulder")

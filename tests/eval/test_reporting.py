@@ -1,0 +1,48 @@
+"""Experiment result containers and rendering."""
+
+from __future__ import annotations
+
+from repro.eval import ExperimentResult, ExperimentRow, bar_chart
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="figXX",
+        title="demo",
+        rows=[
+            ExperimentRow("M2AI", 0.97, 0.61),
+            ExperimentRow("SVM", 0.70, 0.35, approx=True),
+            ExperimentRow("HMM", None, 0.20),
+        ],
+        notes="shape holds",
+        extras={"matrix": "1 0\n0 1"},
+    )
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        text = make_result().render()
+        assert "figXX" in text
+        assert "M2AI" in text
+        assert "0.610" in text
+        assert "~" in text  # approx marker
+        assert "--" in text  # missing paper value
+        assert "shape holds" in text
+        assert "matrix" in text
+
+    def test_measured_by_name(self):
+        measured = make_result().measured_by_name()
+        assert measured["M2AI"] == 0.61
+        assert len(measured) == 3
+
+
+class TestBarChart:
+    def test_renders_all_series(self):
+        chart = bar_chart({"a": 1.0, "b": 0.5, "c": 0.0})
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[0].count("#") > lines[1].count("#") > lines[2].count("#")
+
+    def test_clamps_out_of_range(self):
+        chart = bar_chart({"x": 2.0}, width=10)
+        assert chart.count("#") == 10

@@ -1,0 +1,30 @@
+"""Invariants of recorded experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+STATE = Path(__file__).resolve().parents[2] / ".repro_cache" / "experiment_state.json"
+
+
+@pytest.mark.skipif(not STATE.exists(), reason="no recorded experiments yet")
+class TestRecordedState:
+    def test_blocks_render_their_ids(self):
+        state = json.loads(STATE.read_text())
+        for exp_id, block in state.items():
+            assert exp_id in block, f"{exp_id} block lacks its own id"
+
+    def test_blocks_have_measured_column(self):
+        state = json.loads(STATE.read_text())
+        for exp_id, block in state.items():
+            assert "measured" in block, exp_id
+
+    def test_known_ids_only(self):
+        from repro.eval import ALL_EXPERIMENTS
+
+        state = json.loads(STATE.read_text())
+        unknown = set(state) - set(ALL_EXPERIMENTS)
+        assert not unknown, f"unknown experiment ids recorded: {unknown}"

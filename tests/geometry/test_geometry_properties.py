@@ -1,0 +1,75 @@
+"""Hypothesis invariants of the geometry primitives used in hot paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rectangle, Segment, Vec2
+
+coord = st.floats(min_value=-30, max_value=30, allow_nan=False)
+
+
+class TestMirrorProperties:
+    @given(coord, coord, st.sampled_from(["left", "right", "bottom", "top"]))
+    @settings(max_examples=50, deadline=None)
+    def test_mirror_preserves_wall_distance(self, x, y, wall):
+        """The image sits at the same distance behind the wall as the
+        source in front of it — the property the image-source method
+        relies on for path lengths."""
+        r = Rectangle(-10, -10, 10, 10)
+        p = Vec2(x, y)
+        image = r.mirror(p, wall)
+        if wall in ("left", "right"):
+            plane = r.x0 if wall == "left" else r.x1
+            assert abs(p.x - plane) == pytest.approx(abs(image.x - plane))
+            assert image.y == p.y
+        else:
+            plane = r.y0 if wall == "bottom" else r.y1
+            assert abs(p.y - plane) == pytest.approx(abs(image.y - plane))
+            assert image.x == p.x
+
+    @given(coord, coord, coord, coord, st.sampled_from(["left", "right", "bottom", "top"]))
+    @settings(max_examples=50, deadline=None)
+    def test_image_path_length_equals_reflected_path(self, ax, ay, px, py, wall):
+        """|antenna - image| equals the broken-path length through the
+        wall hit point, for points inside the room."""
+        r = Rectangle(-10, -10, 10, 10)
+        ant, p = Vec2(ax / 3, ay / 3), Vec2(px / 3, py / 3)  # keep inside
+        image = r.mirror(p, wall)
+        direct = ant.distance_to(image)
+        # Hit point: intersection of ant->image with the wall plane.
+        d = image - ant
+        if wall in ("left", "right"):
+            plane = r.x0 if wall == "left" else r.x1
+            if abs(d.x) < 1e-9:
+                return
+            t = (plane - ant.x) / d.x
+        else:
+            plane = r.y0 if wall == "bottom" else r.y1
+            if abs(d.y) < 1e-9:
+                return
+            t = (plane - ant.y) / d.y
+        if not 0.0 <= t <= 1.0:
+            return
+        hit = ant.lerp(image, t)
+        broken = ant.distance_to(hit) + hit.distance_to(p)
+        assert broken == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+
+class TestSegmentProperties:
+    @given(coord, coord, coord, coord)
+    @settings(max_examples=50, deadline=None)
+    def test_midpoint_equidistant(self, ax, ay, bx, by):
+        seg = Segment(Vec2(ax, ay), Vec2(bx, by))
+        m = seg.midpoint()
+        assert m.distance_to(seg.a) == pytest.approx(m.distance_to(seg.b), abs=1e-9)
+
+    @given(coord, coord, coord, coord)
+    @settings(max_examples=50, deadline=None)
+    def test_endpoints_have_zero_distance(self, ax, ay, bx, by):
+        seg = Segment(Vec2(ax, ay), Vec2(bx, by))
+        assert seg.distance_to_point(seg.a) == pytest.approx(0.0, abs=1e-9)
+        assert seg.distance_to_point(seg.b) == pytest.approx(0.0, abs=1e-9)

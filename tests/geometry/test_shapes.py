@@ -1,0 +1,130 @@
+"""Segments, circles, rectangles and their predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Rectangle, Segment, Vec2, deg2rad, rad2deg
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        seg = Segment(Vec2(0, 0), Vec2(3, 4))
+        assert seg.length() == pytest.approx(5.0)
+        assert seg.midpoint() == Vec2(1.5, 2.0)
+
+    def test_point_at(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.point_at(0.3) == Vec2(3.0, 0.0)
+
+    def test_distance_to_point_perpendicular(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.distance_to_point(Vec2(5, 3)) == pytest.approx(3.0)
+
+    def test_distance_to_point_beyond_endpoint(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.distance_to_point(Vec2(13, 4)) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        seg = Segment(Vec2(1, 1), Vec2(1, 1))
+        assert seg.distance_to_point(Vec2(4, 5)) == pytest.approx(5.0)
+
+    def test_intersects_circle(self):
+        seg = Segment(Vec2(-5, 0), Vec2(5, 0))
+        assert seg.intersects_circle(Vec2(0, 0.5), 1.0)
+        assert not seg.intersects_circle(Vec2(0, 2.0), 1.0)
+
+    def test_segments_crossing(self):
+        a = Segment(Vec2(0, 0), Vec2(2, 2))
+        b = Segment(Vec2(0, 2), Vec2(2, 0))
+        assert a.intersects_segment(b)
+
+    def test_segments_parallel_disjoint(self):
+        a = Segment(Vec2(0, 0), Vec2(2, 0))
+        b = Segment(Vec2(0, 1), Vec2(2, 1))
+        assert not a.intersects_segment(b)
+
+    def test_segments_collinear_overlap(self):
+        a = Segment(Vec2(0, 0), Vec2(2, 0))
+        b = Segment(Vec2(1, 0), Vec2(3, 0))
+        assert a.intersects_segment(b)
+
+    def test_segments_collinear_disjoint(self):
+        a = Segment(Vec2(0, 0), Vec2(1, 0))
+        b = Segment(Vec2(2, 0), Vec2(3, 0))
+        assert not a.intersects_segment(b)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_distance_nonnegative_and_bounded(self, ax, ay, bx, by, px, py):
+        seg = Segment(Vec2(ax, ay), Vec2(bx, by))
+        p = Vec2(px, py)
+        d = seg.distance_to_point(p)
+        assert d >= 0.0
+        assert d <= seg.a.distance_to(p) + 1e-9
+        assert d <= seg.b.distance_to(p) + 1e-9
+
+
+class TestCircle:
+    def test_contains(self):
+        c = Circle(Vec2(0, 0), 1.0)
+        assert c.contains(Vec2(0.5, 0.5))
+        assert not c.contains(Vec2(1.1, 0.0))
+
+    def test_blocks(self):
+        c = Circle(Vec2(0, 0), 0.5)
+        assert c.blocks(Segment(Vec2(-2, 0), Vec2(2, 0)))
+        assert not c.blocks(Segment(Vec2(-2, 1), Vec2(2, 1)))
+
+
+class TestRectangle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rectangle(1, 0, 0, 1)
+
+    def test_dimensions(self):
+        r = Rectangle(0, 0, 4, 3)
+        assert r.width == 4 and r.height == 3
+        assert r.center() == Vec2(2.0, 1.5)
+
+    def test_contains_with_margin(self):
+        r = Rectangle(0, 0, 10, 10)
+        assert r.contains(Vec2(0.5, 0.5))
+        assert not r.contains(Vec2(0.5, 0.5), margin=1.0)
+
+    def test_clamp(self):
+        r = Rectangle(0, 0, 10, 10)
+        assert r.clamp(Vec2(-5, 5)) == Vec2(0, 5)
+        assert r.clamp(Vec2(20, 20), margin=1) == Vec2(9, 9)
+
+    @pytest.mark.parametrize(
+        "wall,expected",
+        [
+            ("left", Vec2(-2, 3)),
+            ("right", Vec2(14, 3)),
+            ("bottom", Vec2(2, -3)),
+            ("top", Vec2(2, 11)),
+        ],
+    )
+    def test_mirror(self, wall, expected):
+        r = Rectangle(0, 0, 8, 7)
+        assert r.mirror(Vec2(2, 3), wall) == expected
+
+    def test_mirror_unknown_wall(self):
+        with pytest.raises(ValueError):
+            Rectangle(0, 0, 1, 1).mirror(Vec2(0, 0), "ceiling")
+
+    def test_mirror_involution(self):
+        r = Rectangle(0, 0, 8, 7)
+        p = Vec2(3.3, 2.2)
+        for wall in ("left", "right", "bottom", "top"):
+            back = r.mirror(r.mirror(p, wall), wall)
+            assert back.x == pytest.approx(p.x)
+            assert back.y == pytest.approx(p.y)
+
+
+def test_angle_conversions_roundtrip():
+    assert rad2deg(deg2rad(137.0)) == pytest.approx(137.0)

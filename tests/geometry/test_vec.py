@@ -1,0 +1,101 @@
+"""Vec2 algebra, including hypothesis-checked identities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vecs():
+    return st.builds(Vec2, finite, finite)
+
+
+class TestBasicAlgebra:
+    def test_add_sub_roundtrip(self):
+        a, b = Vec2(1.0, 2.0), Vec2(-3.0, 0.5)
+        assert (a + b) - b == a
+
+    def test_scalar_multiply(self):
+        assert Vec2(1.0, -2.0) * 3 == Vec2(3.0, -6.0)
+        assert 3 * Vec2(1.0, -2.0) == Vec2(3.0, -6.0)
+
+    def test_division(self):
+        assert Vec2(2.0, 4.0) / 2 == Vec2(1.0, 2.0)
+
+    def test_negation(self):
+        assert -Vec2(1.0, -2.0) == Vec2(-1.0, 2.0)
+
+    def test_norm(self):
+        assert Vec2(3.0, 4.0).norm() == pytest.approx(5.0)
+        assert Vec2(3.0, 4.0).norm_sq() == pytest.approx(25.0)
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+
+    def test_dot_and_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+
+    def test_perp_is_orthogonal(self):
+        v = Vec2(2.5, -1.5)
+        assert v.dot(v.perp()) == pytest.approx(0.0)
+
+    def test_normalized_unit_length(self):
+        assert Vec2(5.0, 0.0).normalized() == Vec2(1.0, 0.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0.0, 0.0).normalized()
+
+    def test_rotation_quarter_turn(self):
+        r = Vec2(1.0, 0.0).rotated(math.pi / 2)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+
+    def test_angle(self):
+        assert Vec2(0.0, 2.0).angle() == pytest.approx(math.pi / 2)
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Vec2(0, 0), Vec2(2, 4)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(1, 2)
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Vec2(0, 0).x = 1.0  # type: ignore[misc]
+
+
+class TestHypothesisIdentities:
+    @given(vecs(), vecs())
+    def test_addition_commutes(self, a, b):
+        assert (a + b).x == pytest.approx((b + a).x)
+        assert (a + b).y == pytest.approx((b + a).y)
+
+    @given(vecs())
+    def test_rotation_preserves_norm(self, v):
+        assert v.rotated(1.234).norm() == pytest.approx(v.norm(), rel=1e-9, abs=1e-9)
+
+    @given(vecs(), vecs())
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(vecs(), vecs())
+    def test_cross_antisymmetric(self, a, b):
+        assert a.cross(b) == pytest.approx(-b.cross(a), rel=1e-9, abs=1e-6)
+
+    @given(vecs())
+    def test_double_perp_negates(self, v):
+        assert v.perp().perp() == Vec2(-v.x, -v.y)

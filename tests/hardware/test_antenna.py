@@ -1,0 +1,62 @@
+"""Uniform linear array geometry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import DEFAULT_SPACING_M, DEFAULT_WAVELENGTH_M, UniformLinearArray
+from repro.geometry import Vec2
+
+
+class TestGeometry:
+    def test_default_spacing_is_lambda_over_8(self):
+        assert DEFAULT_SPACING_M == pytest.approx(DEFAULT_WAVELENGTH_M / 8.0)
+        assert DEFAULT_SPACING_M == pytest.approx(0.04)
+
+    def test_positions_centred(self):
+        array = UniformLinearArray(center=Vec2(1.0, 2.0), n_elements=4, spacing=0.04)
+        pos = array.positions()
+        assert pos.shape == (4, 2)
+        np.testing.assert_allclose(pos.mean(axis=0), [1.0, 2.0], atol=1e-12)
+
+    def test_adjacent_spacing(self):
+        array = UniformLinearArray(center=Vec2(0, 0), n_elements=4, spacing=0.04)
+        pos = array.positions()
+        gaps = np.linalg.norm(np.diff(pos, axis=0), axis=1)
+        np.testing.assert_allclose(gaps, 0.04)
+
+    def test_rotation(self):
+        array = UniformLinearArray(
+            center=Vec2(0, 0), n_elements=2, spacing=1.0, axis_angle_rad=math.pi / 2
+        )
+        pos = array.positions()
+        np.testing.assert_allclose(pos[:, 0], 0.0, atol=1e-12)
+        assert pos[1, 1] - pos[0, 1] == pytest.approx(1.0)
+
+    def test_element_index_bounds(self):
+        array = UniformLinearArray(center=Vec2(0, 0), n_elements=4)
+        with pytest.raises(IndexError):
+            array.element_position(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLinearArray(center=Vec2(0, 0), n_elements=1)
+        with pytest.raises(ValueError):
+            UniformLinearArray(center=Vec2(0, 0), spacing=-0.1)
+
+
+class TestAoA:
+    @pytest.mark.parametrize("angle", [30.0, 60.0, 90.0, 120.0, 150.0])
+    def test_ground_truth_aoa(self, angle):
+        array = UniformLinearArray(center=Vec2(0, 0))
+        rad = math.radians(angle)
+        point = Vec2(5.0 * math.cos(rad), 5.0 * math.sin(rad))
+        assert array.aoa_to(point) == pytest.approx(angle, abs=1e-9)
+
+    def test_aoa_rotated_array(self):
+        array = UniformLinearArray(center=Vec2(0, 0), axis_angle_rad=math.pi / 4)
+        point = Vec2(0.0, 5.0)  # 45 degrees from the rotated axis
+        assert array.aoa_to(point) == pytest.approx(45.0, abs=1e-9)

@@ -1,0 +1,71 @@
+"""FCC hop plan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import FrequencyHopper, REFERENCE_FREQ_MHZ
+
+
+class TestChannelTable:
+    def test_fifty_channels_in_band(self):
+        hopper = FrequencyHopper()
+        freqs = hopper.frequencies_hz
+        assert len(freqs) == 50
+        assert freqs.min() == pytest.approx(902.75e6)
+        assert freqs.max() == pytest.approx(927.25e6)
+        assert np.allclose(np.diff(freqs), 0.5e6)
+
+    def test_reference_channel_is_910_25(self):
+        hopper = FrequencyHopper()
+        ref = hopper.reference_channel
+        assert hopper.frequencies_hz[ref] == pytest.approx(REFERENCE_FREQ_MHZ * 1e6)
+
+    def test_wavelength_near_32cm(self):
+        hopper = FrequencyHopper()
+        lam = hopper.wavelength(hopper.reference_channel)
+        assert 0.31 < float(lam) < 0.34
+
+
+class TestHopSequence:
+    def test_every_channel_visited_once_per_cycle(self):
+        hopper = FrequencyHopper(rng=np.random.default_rng(0))
+        seq = hopper.hop_sequence(50)
+        assert sorted(seq.tolist()) == list(range(50))
+
+    def test_cycles_reshuffled(self):
+        hopper = FrequencyHopper(rng=np.random.default_rng(0))
+        seq = hopper.hop_sequence(100)
+        assert not np.array_equal(seq[:50], seq[50:])
+        assert sorted(seq[50:].tolist()) == list(range(50))
+
+    def test_requested_length(self):
+        hopper = FrequencyHopper(rng=np.random.default_rng(0))
+        assert len(hopper.hop_sequence(7)) == 7
+        assert len(hopper.hop_sequence(0)) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyHopper().hop_sequence(-1)
+
+
+class TestSlotMapping:
+    def test_dwell_spans_sixteen_slots(self):
+        # 400 ms dwell / 25 ms slot = 16 slots on one channel.
+        hopper = FrequencyHopper(rng=np.random.default_rng(1))
+        channels = hopper.channels_for_slots(64, slot_s=0.025)
+        for dwell in range(4):
+            chunk = channels[dwell * 16 : (dwell + 1) * 16]
+            assert len(set(chunk.tolist())) == 1
+
+    def test_dwell_time_respected(self):
+        hopper = FrequencyHopper(dwell_s=0.1, rng=np.random.default_rng(1))
+        channels = hopper.channels_for_slots(8, slot_s=0.025)
+        assert len(set(channels[:4].tolist())) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyHopper(dwell_s=0.0)
+        with pytest.raises(ValueError):
+            FrequencyHopper(n_channels=0)

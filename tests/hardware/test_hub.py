@@ -1,0 +1,94 @@
+"""Antenna hubs (Section VII extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp import PhaseCalibrator, build_spectrum_frames
+from repro.geometry import Rectangle, Room, Vec2, make_laboratory
+from repro.hardware import UniformLinearArray, make_tag, stationary_scene
+from repro.hardware.hub import AntennaHub, merge_hub_features
+
+
+@pytest.fixture(scope="module")
+def hub():
+    room = make_laboratory()
+    return AntennaHub(
+        room=room,
+        arrays=(
+            UniformLinearArray(center=Vec2(4.0, 0.3)),
+            UniformLinearArray(center=Vec2(10.0, 0.3)),
+        ),
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def hub_scene():
+    rng = np.random.default_rng(0)
+    return stationary_scene(
+        [(make_tag(f"hub-{i}", rng), (6.0 + i, 4.0)) for i in range(2)]
+    )
+
+
+class TestAntennaHub:
+    def test_needs_an_array(self):
+        with pytest.raises(ValueError):
+            AntennaHub(room=make_laboratory(), arrays=())
+
+    def test_one_log_per_array(self, hub, hub_scene):
+        logs = hub.inventory(hub_scene, duration_s=1.2)
+        assert len(logs) == 2
+        for log in logs:
+            assert log.n_reads > 50
+
+    def test_member_sessions_independent(self, hub, hub_scene):
+        logs = hub.inventory(hub_scene, duration_s=1.2)
+        # Different array positions -> different geometry -> phases differ.
+        n = min(logs[0].n_reads, logs[1].n_reads)
+        assert not np.allclose(logs[0].phase_rad[:n], logs[1].phase_rad[:n])
+
+    def test_coverage_monotone_in_arrays(self):
+        room = Room(bounds=Rectangle(0, 0, 50, 30), name="big")
+        rng = np.random.default_rng(1)
+        points = np.stack([rng.uniform(0, 50, 500), rng.uniform(0, 30, 500)], axis=1)
+        one = AntennaHub(room=room, arrays=(UniformLinearArray(center=Vec2(25, 1)),))
+        two = AntennaHub(
+            room=room,
+            arrays=(
+                UniformLinearArray(center=Vec2(12, 1)),
+                UniformLinearArray(center=Vec2(38, 1)),
+            ),
+        )
+        assert two.coverage_mask(points).mean() >= one.coverage_mask(points).mean()
+
+    def test_calibration_inventory(self, hub, hub_scene):
+        logs = hub.calibration_inventory(hub_scene, duration_s=20.0)
+        for log in logs:
+            calibrator = PhaseCalibrator.fit(log)
+            # Narrowband fades can blank some channels for a given tag
+            # position (which is exactly why the calibrator carries a
+            # linear-fit fallback); a healthy majority must be covered
+            # and calibration must apply cleanly.
+            assert calibrator.coverage(0, 0) > 0.3
+            psi = calibrator.calibrate(log)
+            assert np.isfinite(psi).all()
+
+
+class TestMergeHubFeatures:
+    def test_merged_channels_suffixed(self, hub, hub_scene):
+        cal_logs = hub.calibration_inventory(hub_scene, duration_s=20.0)
+        logs = hub.inventory(hub_scene, duration_s=1.2)
+        feats = []
+        for cal, log in zip(cal_logs, logs):
+            psi = PhaseCalibrator.fit(cal).calibrate(log)
+            feats.append(build_spectrum_frames(log, psi, n_frames=3, label="X"))
+        merged = merge_hub_features(feats)
+        assert set(merged.channels) == {"pseudo@0", "period@0", "pseudo@1", "period@1"}
+        assert merged.label == "X"
+        assert merged.n_frames == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_hub_features([])

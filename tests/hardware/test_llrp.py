@@ -1,0 +1,92 @@
+"""ReadLog container semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import ReadLog, ReaderMeta, concatenate_logs
+
+
+def make_log(n: int = 10, epcs=("A", "B"), t0: float = 0.0) -> ReadLog:
+    meta = ReaderMeta(
+        n_antennas=4,
+        slot_s=0.025,
+        dwell_s=0.4,
+        spacing_m=0.04,
+        frequencies_hz=np.linspace(902.75e6, 927.25e6, 50),
+        reference_channel=15,
+    )
+    rng = np.random.default_rng(0)
+    return ReadLog(
+        epcs=epcs,
+        tag_index=rng.integers(0, len(epcs), n),
+        antenna=rng.integers(0, 4, n),
+        channel=rng.integers(0, 50, n),
+        frequency_hz=np.full(n, 910e6),
+        timestamp_s=t0 + np.sort(rng.uniform(0, 1, n)),
+        phase_rad=rng.uniform(0, 2 * np.pi, n),
+        rssi_dbm=rng.uniform(-80, -50, n),
+        meta=meta,
+    )
+
+
+class TestReadLog:
+    def test_length_validation(self):
+        log = make_log(5)
+        with pytest.raises(ValueError):
+            ReadLog(
+                epcs=log.epcs,
+                tag_index=log.tag_index,
+                antenna=log.antenna[:-1],
+                channel=log.channel,
+                frequency_hz=log.frequency_hz,
+                timestamp_s=log.timestamp_s,
+                phase_rad=log.phase_rad,
+                rssi_dbm=log.rssi_dbm,
+                meta=log.meta,
+            )
+
+    def test_counts(self):
+        log = make_log(10)
+        assert log.n_reads == 10
+        assert log.n_tags == 2
+
+    def test_for_tag_filters_and_caches(self):
+        log = make_log(50)
+        sub = log.for_tag(0)
+        assert (sub.tag_index == 0).all()
+        assert log.for_tag(0) is sub  # cached
+
+    def test_select(self):
+        log = make_log(20)
+        sub = log.select(log.rssi_dbm > -65)
+        assert (sub.rssi_dbm > -65).all()
+        assert sub.meta is log.meta
+
+    def test_duration(self):
+        log = make_log(10)
+        assert log.duration_s == pytest.approx(
+            float(log.timestamp_s.max() - log.timestamp_s.min())
+        )
+
+    def test_read_rate_empty_tag(self):
+        log = make_log(10, epcs=("A", "B", "C"))
+        never_read = [t for t in range(3) if (log.tag_index != t).all()]
+        for t in never_read:
+            assert log.read_rate_hz(t) == 0.0
+
+
+class TestConcatenate:
+    def test_concatenation(self):
+        a, b = make_log(5), make_log(7, t0=2.0)
+        merged = concatenate_logs([a, b])
+        assert merged.n_reads == 12
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_logs([make_log(5), make_log(5, epcs=("X",))])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_logs([])

@@ -1,0 +1,147 @@
+"""The reader session: TDM inventory, impairments, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Vec2, make_open_space
+from repro.hardware import (
+    Reader,
+    ReaderConfig,
+    Scene,
+    TagTrack,
+    UniformLinearArray,
+    make_tag,
+    stationary_scene,
+)
+
+
+def make_reader(seed: int = 0, **overrides) -> Reader:
+    array = UniformLinearArray(center=Vec2(0.0, 0.0))
+    return Reader(ReaderConfig(array=array, **overrides), make_open_space(), seed=seed)
+
+
+def one_tag_scene(rng=None, pos=(3.0, 3.0)):
+    rng = rng or np.random.default_rng(0)
+    return stationary_scene([(make_tag("T0", rng), pos)])
+
+
+class TestInventory:
+    def test_read_rate_about_40_per_second(self):
+        reader = make_reader(random_miss_prob=0.0)
+        log = reader.inventory(one_tag_scene(), duration_s=2.0)
+        assert log.read_rate_hz(0) == pytest.approx(40.0, rel=0.05)
+
+    def test_antenna_ports_cycle(self):
+        reader = make_reader(random_miss_prob=0.0)
+        log = reader.inventory(one_tag_scene(), duration_s=1.0)
+        assert sorted(np.unique(log.antenna).tolist()) == [0, 1, 2, 3]
+
+    def test_timestamps_sorted(self):
+        reader = make_reader()
+        log = reader.inventory(one_tag_scene(), duration_s=1.0)
+        assert (np.diff(log.timestamp_s) >= 0).all()
+
+    def test_phase_in_range(self):
+        reader = make_reader()
+        log = reader.inventory(one_tag_scene(), duration_s=2.0)
+        assert (log.phase_rad >= 0).all() and (log.phase_rad < 2 * np.pi).all()
+
+    def test_duration_validation(self):
+        reader = make_reader()
+        with pytest.raises(ValueError):
+            reader.inventory(one_tag_scene(), duration_s=0.0)
+
+    def test_scene_slot_mismatch_raises(self):
+        reader = make_reader()
+        rng = np.random.default_rng(0)
+        moving = Scene(
+            tag_tracks=(
+                TagTrack(tag=make_tag("T0", rng), positions=np.zeros((17, 2)) + 3.0),
+            )
+        )
+        with pytest.raises(ValueError):
+            reader.inventory(moving, duration_s=1.0)
+
+    def test_multiple_tags_all_reported(self):
+        rng = np.random.default_rng(0)
+        scene = stationary_scene(
+            [(make_tag(f"T{i}", rng), (3.0 + i, 3.0)) for i in range(3)]
+        )
+        reader = make_reader()
+        log = reader.inventory(scene, duration_s=1.0)
+        assert sorted(np.unique(log.tag_index).tolist()) == [0, 1, 2]
+        assert log.epcs == ("T0", "T1", "T2")
+
+
+class TestImpairments:
+    def test_session_offsets_frozen(self):
+        reader = make_reader(seed=5)
+        a = reader.oscillator_offsets
+        b = reader.oscillator_offsets
+        np.testing.assert_allclose(a, b)
+
+    def test_different_sessions_different_offsets(self):
+        assert not np.allclose(
+            make_reader(seed=5).oscillator_offsets,
+            make_reader(seed=6).oscillator_offsets,
+        )
+
+    def test_offsets_linear_in_frequency(self):
+        reader = make_reader(seed=5)
+        freqs = reader.hopper.frequencies_hz / 1e6
+        offsets = reader.oscillator_offsets
+        slope, intercept = np.polyfit(freqs, offsets, 1)
+        residual = offsets - (slope * freqs + intercept)
+        assert np.abs(residual).max() < 0.5  # jitter only
+        lo, hi = reader.config.oscillator_slope_range
+        assert lo <= slope <= hi
+
+    def test_disable_offsets(self):
+        reader = make_reader(enable_hopping_offsets=False)
+        assert np.allclose(reader.oscillator_offsets, 0.0)
+
+    def test_pi_flip_table_stable_per_session(self):
+        reader = make_reader(seed=5)
+        np.testing.assert_array_equal(
+            reader._flip_table("E1"), reader._flip_table("E1")
+        )
+
+    def test_pi_flip_differs_across_tags(self):
+        reader = make_reader(seed=5)
+        assert not np.array_equal(reader._flip_table("E1"), reader._flip_table("E2"))
+
+    def test_quantisation_grid(self):
+        reader = make_reader(phase_noise_std_rad=0.0)
+        log = reader.inventory(one_tag_scene(), duration_s=1.0)
+        lsb = reader.config.phase_lsb_rad
+        remainders = np.mod(log.phase_rad / lsb, 1.0)
+        assert np.all((remainders < 1e-6) | (remainders > 1 - 1e-6))
+
+
+class TestMissedReads:
+    def test_far_tag_not_read(self):
+        # Beyond the harvest range the tag stays silent (paper: ~6 m
+        # power limit; open space with 1/d one-way amplitude).
+        reader = make_reader(random_miss_prob=0.0)
+        far = stationary_scene([(make_tag("far", np.random.default_rng(0)), (80.0, 0.0))])
+        log = reader.inventory(far, duration_s=1.0)
+        assert log.n_reads == 0
+
+    def test_random_misses_reduce_rate(self):
+        lossless = make_reader(random_miss_prob=0.0).inventory(
+            one_tag_scene(), duration_s=4.0
+        )
+        lossy = make_reader(random_miss_prob=0.3).inventory(
+            one_tag_scene(), duration_s=4.0
+        )
+        assert lossy.n_reads < lossless.n_reads
+
+
+class TestDeterminism:
+    def test_same_seed_same_log(self):
+        log1 = make_reader(seed=9).inventory(one_tag_scene(), duration_s=1.0)
+        log2 = make_reader(seed=9).inventory(one_tag_scene(), duration_s=1.0)
+        np.testing.assert_allclose(log1.phase_rad, log2.phase_rad)
+        np.testing.assert_allclose(log1.rssi_dbm, log2.rssi_dbm)

@@ -1,0 +1,53 @@
+"""Scene validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import BodyTrack
+from repro.hardware import Scene, TagTrack, make_tag, stationary_scene
+
+
+def tag(name="T"):
+    return make_tag(name, np.random.default_rng(0))
+
+
+class TestTagTrack:
+    def test_accepts_static_and_trajectory(self):
+        TagTrack(tag=tag(), positions=np.array([1.0, 2.0]))
+        TagTrack(tag=tag(), positions=np.zeros((10, 2)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TagTrack(tag=tag(), positions=np.zeros((10, 3)))
+        with pytest.raises(ValueError):
+            TagTrack(tag=tag(), positions=np.zeros(3))
+
+
+class TestScene:
+    def test_needs_a_tag(self):
+        with pytest.raises(ValueError):
+            Scene(tag_tracks=())
+
+    def test_inconsistent_time_axes_rejected(self):
+        t1 = TagTrack(tag=tag("A"), positions=np.zeros((5, 2)))
+        t2 = TagTrack(tag=tag("B"), positions=np.zeros((7, 2)))
+        with pytest.raises(ValueError):
+            Scene(tag_tracks=(t1, t2))
+
+    def test_carrier_index_checked(self):
+        t1 = TagTrack(tag=tag("A"), positions=np.zeros((5, 2)), carrier=0)
+        with pytest.raises(ValueError):
+            Scene(tag_tracks=(t1,), bodies=())
+
+    def test_n_slots_from_tags_or_bodies(self):
+        t1 = TagTrack(tag=tag("A"), positions=np.zeros((5, 2)))
+        body = BodyTrack(positions=np.zeros((5, 2)))
+        scene = Scene(tag_tracks=(t1,), bodies=(body,))
+        assert scene.n_slots == 5
+
+    def test_stationary_scene_broadcasts(self):
+        scene = stationary_scene([(tag("A"), (1.0, 2.0)), (tag("B"), (2.0, 3.0))])
+        assert scene.n_slots == 1
+        assert scene.epcs == ("A", "B")

@@ -1,0 +1,50 @@
+"""Tag phase response model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import FrequencyHopper, Tag, make_tag
+
+
+class TestPhaseOffsets:
+    def test_deterministic_in_epc(self):
+        freqs = FrequencyHopper().frequencies_hz
+        a = Tag(epc="E1").phase_offsets(freqs)
+        b = Tag(epc="E1").phase_offsets(freqs)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_tags_differ(self):
+        freqs = FrequencyHopper().frequencies_hz
+        a = Tag(epc="E1").phase_offsets(freqs)
+        b = Tag(epc="E2").phase_offsets(freqs)
+        assert not np.allclose(a, b)
+
+    def test_mostly_linear_in_frequency(self):
+        freqs = FrequencyHopper().frequencies_hz
+        tag = Tag(epc="linear", phase_slope_rad_per_mhz=0.2, channel_jitter_rad=0.0)
+        offsets = tag.phase_offsets(freqs)
+        slope = np.polyfit(freqs / 1e6, offsets, 1)[0]
+        assert slope == pytest.approx(0.2, rel=1e-6)
+
+    def test_jitter_bounded(self):
+        freqs = FrequencyHopper().frequencies_hz
+        tag = Tag(epc="jittery", phase_slope_rad_per_mhz=0.0, channel_jitter_rad=0.05)
+        offsets = tag.phase_offsets(freqs) - tag.phase_intercept_rad
+        assert np.abs(offsets).max() < 0.5
+
+
+class TestFactory:
+    def test_make_tag_randomises_but_reproducibly(self):
+        a = make_tag("X", np.random.default_rng(0))
+        b = make_tag("X", np.random.default_rng(0))
+        assert a == b
+        c = make_tag("X", np.random.default_rng(1))
+        assert a.phase_slope_rad_per_mhz != c.phase_slope_rad_per_mhz
+
+    def test_slope_in_documented_range(self):
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            tag = make_tag(f"T{i}", rng)
+            assert 0.05 <= tag.phase_slope_rad_per_mhz <= 0.25

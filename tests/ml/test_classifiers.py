@@ -1,0 +1,152 @@
+"""The ten Fig. 9 baselines on synthetic blobs — every classifier must
+clear a common generalisation bar and honour the shared interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    GaussianNB,
+    GaussianProcessClassifier,
+    KNeighborsClassifier,
+    LinearSVM,
+    QuadraticDiscriminantAnalysis,
+    RandomForestClassifier,
+    RbfSVM,
+    train_test_split,
+)
+
+
+def blobs(k=3, per_class=40, d=8, spread=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    means = rng.normal(0, 4, (k, d))
+    x = np.concatenate([means[i] + rng.normal(0, spread, (per_class, d)) for i in range(k)])
+    y = np.repeat([f"C{i}" for i in range(k)], per_class)
+    return train_test_split(x, y, rng=rng)
+
+
+ZOO = [
+    ("knn", lambda: KNeighborsClassifier(5)),
+    ("knn-distance", lambda: KNeighborsClassifier(5, weights="distance")),
+    ("linear-svm", lambda: LinearSVM(epochs=25, rng=np.random.default_rng(0))),
+    ("rbf-svm", lambda: RbfSVM(epochs=15, rng=np.random.default_rng(0))),
+    ("gp", lambda: GaussianProcessClassifier()),
+    ("tree", lambda: DecisionTreeClassifier(max_depth=8)),
+    ("forest", lambda: RandomForestClassifier(n_estimators=15, rng=np.random.default_rng(0))),
+    ("adaboost", lambda: AdaBoostClassifier(n_estimators=15, rng=np.random.default_rng(0))),
+    ("nb", lambda: GaussianNB()),
+    ("qda", lambda: QuadraticDiscriminantAnalysis()),
+]
+
+
+@pytest.mark.parametrize("name,factory", ZOO, ids=[n for n, _f in ZOO])
+class TestCommonBehaviour:
+    def test_generalises_on_blobs(self, name, factory):
+        x_train, x_test, y_train, y_test = blobs()
+        model = factory()
+        model.fit(x_train, y_train)
+        assert model.score(x_test, y_test) >= 0.9
+
+    def test_string_labels_roundtrip(self, name, factory):
+        x_train, x_test, y_train, y_test = blobs(k=2, per_class=20)
+        model = factory()
+        model.fit(x_train, y_train)
+        predictions = model.predict(x_test)
+        assert set(predictions.tolist()) <= {"C0", "C1"}
+
+    def test_unfitted_predict_raises(self, name, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.zeros((2, 4)))
+
+    def test_bad_training_shape_rejected(self, name, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((4, 2, 2)), np.zeros(4))
+
+    def test_deterministic(self, name, factory):
+        x_train, x_test, y_train, _y_test = blobs(k=2, per_class=15)
+        p1 = factory().fit(x_train, y_train).predict(x_test)
+        p2 = factory().fit(x_train, y_train).predict(x_test)
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestSpecifics:
+    def test_knn_k1_memorises(self):
+        x_train, _x_test, y_train, _y_test = blobs(k=2, per_class=10)
+        model = KNeighborsClassifier(1).fit(x_train, y_train)
+        assert model.score(x_train, y_train) == 1.0
+
+    def test_tree_depth_limit(self):
+        x_train, _x_test, y_train, _ = blobs(k=3, per_class=30)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x_train, y_train)
+        assert tree.depth() <= 2
+
+    def test_tree_pure_leaf_stops(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array(["a", "b"])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.score(x, y) == 1.0
+
+    def test_forest_beats_single_tree_on_noisy_data(self):
+        x_train, x_test, y_train, y_test = blobs(k=4, per_class=40, spread=2.8, seed=3)
+        tree = DecisionTreeClassifier(rng=np.random.default_rng(0)).fit(x_train, y_train)
+        forest = RandomForestClassifier(
+            n_estimators=30, rng=np.random.default_rng(0)
+        ).fit(x_train, y_train)
+        assert forest.score(x_test, y_test) >= tree.score(x_test, y_test)
+
+    def test_rbf_svm_solves_circles(self):
+        """Linearly inseparable ring data: RBF must beat linear."""
+        rng = np.random.default_rng(0)
+        n = 150
+        radius = np.concatenate([rng.uniform(0, 1, n), rng.uniform(2, 3, n)])
+        angle = rng.uniform(0, 2 * np.pi, 2 * n)
+        x = np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1)
+        y = np.repeat(["inner", "outer"], n)
+        x_train, x_test, y_train, y_test = train_test_split(x, y, rng=rng)
+        rbf = RbfSVM(epochs=20, rng=np.random.default_rng(0)).fit(x_train, y_train)
+        linear = LinearSVM(epochs=20, rng=np.random.default_rng(0)).fit(x_train, y_train)
+        assert rbf.score(x_test, y_test) > 0.9
+        assert rbf.score(x_test, y_test) > linear.score(x_test, y_test)
+
+    def test_nb_variance_informative(self):
+        """Classes with equal means but different variances — only a
+        variance-aware model separates them."""
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.normal(0, 0.3, (100, 4)), rng.normal(0, 3.0, (100, 4))])
+        y = np.repeat(["tight", "wide"], 100)
+        x_train, x_test, y_train, y_test = train_test_split(x, y, rng=rng)
+        model = GaussianNB().fit(x_train, y_train)
+        assert model.score(x_test, y_test) > 0.9
+
+    def test_qda_learns_quadratic_boundary(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 2, (300, 2))
+        y = np.where(x[:, 0] ** 2 + x[:, 1] ** 2 < 2.0, "in", "out")
+        x_train, x_test, y_train, y_test = train_test_split(x, y, rng=rng)
+        model = QuadraticDiscriminantAnalysis(reg_param=0.05).fit(x_train, y_train)
+        assert model.score(x_test, y_test) > 0.85
+
+    def test_adaboost_improves_with_rounds(self):
+        x_train, x_test, y_train, y_test = blobs(k=2, per_class=60, spread=2.5, seed=5)
+        weak = AdaBoostClassifier(n_estimators=1, rng=np.random.default_rng(0)).fit(
+            x_train, y_train
+        )
+        strong = AdaBoostClassifier(n_estimators=30, rng=np.random.default_rng(0)).fit(
+            x_train, y_train
+        )
+        assert strong.score(x_test, y_test) >= weak.score(x_test, y_test)
+
+    def test_gp_decision_function_shape(self):
+        x_train, x_test, y_train, _ = blobs(k=3, per_class=15)
+        model = GaussianProcessClassifier().fit(x_train, y_train)
+        scores = model.decision_function(x_test)
+        assert scores.shape == (len(x_test), 3)
+
+    def test_linear_svm_margin_sign(self):
+        x = np.array([[2.0, 0.0], [-2.0, 0.0]] * 20)
+        y = np.array(["pos", "neg"] * 20)
+        model = LinearSVM(epochs=30, rng=np.random.default_rng(0)).fit(x, y)
+        assert model.score(x, y) == 1.0

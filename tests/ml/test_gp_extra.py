@@ -1,0 +1,45 @@
+"""Gaussian-process classifier internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianProcessClassifier
+
+
+def blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.concatenate([rng.normal(c * 5, 0.8, (25, 3)) for c in range(3)])
+    y = np.repeat(["a", "b", "c"], 25)
+    return x, y
+
+
+class TestGaussianProcess:
+    def test_median_heuristic_positive(self):
+        x, y = blobs()
+        model = GaussianProcessClassifier().fit(x, y)
+        assert model._scale > 0
+
+    def test_explicit_length_scale(self):
+        x, y = blobs()
+        model = GaussianProcessClassifier(length_scale=3.0).fit(x, y)
+        assert model._scale == 3.0
+
+    def test_interpolates_training_points(self):
+        x, y = blobs()
+        model = GaussianProcessClassifier(noise=0.01).fit(x, y)
+        assert model.score(x, y) > 0.98
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessClassifier(noise=0.0)
+
+    def test_higher_noise_smoother_scores(self):
+        x, y = blobs()
+        crisp = GaussianProcessClassifier(noise=0.01).fit(x, y)
+        smooth = GaussianProcessClassifier(noise=10.0).fit(x, y)
+        # Heavier observation noise shrinks the posterior mean toward 0.
+        assert np.abs(smooth.decision_function(x)).max() < np.abs(
+            crisp.decision_function(x)
+        ).max()

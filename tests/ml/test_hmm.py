@@ -1,0 +1,115 @@
+"""Gaussian HMM and the HMM activity classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianHMM, HMMActivityClassifier
+
+
+def two_state_sequences(n=40, steps=20, seed=0):
+    """Sequences that alternate between two well-separated regimes."""
+    rng = np.random.default_rng(seed)
+    seqs = []
+    for _ in range(n):
+        state = 0
+        values = []
+        for _t in range(steps):
+            if rng.random() < 0.2:
+                state = 1 - state
+            centre = -3.0 if state == 0 else 3.0
+            values.append(centre + rng.normal(0, 0.5, 2))
+        seqs.append(np.array(values))
+    return seqs
+
+
+class TestGaussianHMM:
+    def test_fits_and_scores(self):
+        hmm = GaussianHMM(n_states=2, n_iter=10, rng=np.random.default_rng(0))
+        seqs = two_state_sequences()
+        hmm.fit(seqs)
+        score = hmm.score(seqs[0])
+        assert np.isfinite(score)
+
+    def test_learns_emission_centres(self):
+        hmm = GaussianHMM(n_states=2, n_iter=15, rng=np.random.default_rng(0))
+        hmm.fit(two_state_sequences())
+        centres = sorted(hmm.means[:, 0].tolist())
+        assert centres[0] == pytest.approx(-3.0, abs=0.6)
+        assert centres[1] == pytest.approx(3.0, abs=0.6)
+
+    def test_likelihood_prefers_matching_data(self):
+        hmm = GaussianHMM(n_states=2, n_iter=10, rng=np.random.default_rng(0))
+        seqs = two_state_sequences()
+        hmm.fit(seqs)
+        matching = hmm.score(seqs[1])
+        alien = hmm.score(np.full((20, 2), 40.0))
+        assert matching > alien
+
+    def test_viterbi_tracks_regimes(self):
+        hmm = GaussianHMM(n_states=2, n_iter=15, rng=np.random.default_rng(0))
+        seqs = two_state_sequences()
+        hmm.fit(seqs)
+        seq = np.array([[-3.0, -3.0]] * 5 + [[3.0, 3.0]] * 5)
+        path = hmm.viterbi(seq)
+        assert len(set(path[:5].tolist())) == 1
+        assert len(set(path[5:].tolist())) == 1
+        assert path[0] != path[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianHMM().fit([])
+
+    def test_unfitted_score_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianHMM().score(np.zeros((3, 2)))
+
+
+class TestHMMActivityClassifier:
+    def make_dataset(self, seed=0):
+        rng = np.random.default_rng(seed)
+        steps, d, per_class = 10, 6, 25
+        seqs, labels = [], []
+        for cls, rate in (("slow", 0.5), ("fast", 2.0)):
+            for _ in range(per_class):
+                phase = rng.uniform(0, 2 * np.pi)
+                t = np.linspace(0, 2 * np.pi, steps)
+                base = np.sin(rate * t + phase)
+                seqs.append(base[:, None] + rng.normal(0, 0.2, (steps, d)))
+                labels.append(cls)
+        return np.stack(seqs), np.array(labels)
+
+    def test_classifies_sequences(self):
+        x, y = self.make_dataset()
+        model = HMMActivityClassifier(
+            n_states=3, n_components=3, n_iter=8, rng=np.random.default_rng(0)
+        )
+        model.fit(x[:40], y[:40])
+        assert model.score(x[40:], y[40:]) > 0.7
+
+    def test_flat_input_with_n_frames(self):
+        x, y = self.make_dataset()
+        flat = x.reshape(len(x), -1)
+        model = HMMActivityClassifier(
+            n_states=2, n_components=3, n_frames=10, n_iter=5,
+            rng=np.random.default_rng(0),
+        )
+        model.fit(flat[:40], y[:40])
+        predictions = model.predict(flat[40:])
+        assert predictions.shape == (len(flat) - 40,)
+
+    def test_flat_without_n_frames_rejected(self):
+        x, y = self.make_dataset()
+        model = HMMActivityClassifier()
+        with pytest.raises(ValueError):
+            model.fit(x.reshape(len(x), -1), y)
+
+    def test_indivisible_flat_rejected(self):
+        model = HMMActivityClassifier(n_frames=7)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 10)), np.array(["a", "a", "b", "b"]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HMMActivityClassifier().predict(np.zeros((2, 5, 3)))

@@ -1,0 +1,88 @@
+"""Accuracy, confusion matrices, P/R/F1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import accuracy, confusion_matrix, precision_recall_f1
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array(["a", "b"]), np.array(["a", "b"])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1, 0, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestConfusionMatrix:
+    def test_layout_prediction_rows_actual_columns(self):
+        truth = np.array(["a", "a", "b"])
+        pred = np.array(["a", "b", "b"])
+        cm = confusion_matrix(truth, pred)
+        a, b = 0, 1
+        assert cm.counts[a, a] == 1  # a predicted as a
+        assert cm.counts[b, a] == 1  # a predicted as b
+        assert cm.counts[b, b] == 1
+
+    def test_column_normalised_sums_to_one(self):
+        truth = np.array(["a"] * 5 + ["b"] * 3)
+        pred = np.array(["a", "a", "b", "a", "b", "b", "b", "a"])
+        norm = confusion_matrix(truth, pred).column_normalized()
+        np.testing.assert_allclose(norm.sum(axis=0), 1.0)
+
+    def test_diagonal_accuracy_is_recall(self):
+        truth = np.array(["a", "a", "a", "b"])
+        pred = np.array(["a", "a", "b", "b"])
+        diag = confusion_matrix(truth, pred).diagonal_accuracy()
+        np.testing.assert_allclose(diag, [2 / 3, 1.0])
+
+    def test_render_contains_percentages(self):
+        truth = np.array(["a", "b"])
+        pred = np.array(["a", "b"])
+        text = confusion_matrix(truth, pred).render()
+        assert "100%" in text
+
+    def test_explicit_label_order(self):
+        truth = np.array(["b", "a"])
+        pred = np.array(["b", "a"])
+        cm = confusion_matrix(truth, pred, labels=np.array(["b", "a"]))
+        assert cm.labels.tolist() == ["b", "a"]
+
+    def test_unseen_predicted_class_included(self):
+        truth = np.array(["a", "a"])
+        pred = np.array(["a", "c"])
+        cm = confusion_matrix(truth, pred)
+        assert "c" in cm.labels.tolist()
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_scores(self):
+        truth = np.array([0, 1, 2])
+        stats = precision_recall_f1(truth, truth)
+        np.testing.assert_allclose(stats["precision"], 1.0)
+        np.testing.assert_allclose(stats["recall"], 1.0)
+        np.testing.assert_allclose(stats["f1"], 1.0)
+
+    def test_known_values(self):
+        truth = np.array([1, 1, 1, 0])
+        pred = np.array([1, 1, 0, 0])
+        stats = precision_recall_f1(truth, pred)
+        idx1 = stats["labels"].tolist().index(1)
+        assert stats["precision"][idx1] == pytest.approx(1.0)
+        assert stats["recall"][idx1] == pytest.approx(2 / 3)
+
+    def test_absent_class_zero_not_nan(self):
+        truth = np.array([0, 0])
+        pred = np.array([1, 1])
+        stats = precision_recall_f1(truth, pred)
+        assert np.isfinite(stats["f1"]).all()

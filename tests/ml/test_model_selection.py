@@ -1,0 +1,98 @@
+"""Splitting and cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianNB, cross_val_score, stratified_kfold, train_test_split
+
+
+def data(k=3, per_class=20, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    means = rng.normal(0, 4, (k, d))
+    x = np.concatenate([means[i] + rng.normal(0, 1, (per_class, d)) for i in range(k)])
+    y = np.repeat([f"C{i}" for i in range(k)], per_class)
+    return x, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x, y = data()
+        x_train, x_test, y_train, y_test = train_test_split(
+            x, y, 0.2, np.random.default_rng(0)
+        )
+        assert len(x_train) + len(x_test) == len(x)
+        assert len(x_test) == 12  # 20% of each class of 20
+
+    def test_stratified_every_class_in_test(self):
+        x, y = data()
+        _xtr, _xte, _ytr, y_test = train_test_split(x, y, 0.2, np.random.default_rng(0))
+        assert set(y_test.tolist()) == {"C0", "C1", "C2"}
+
+    def test_disjoint(self):
+        x, y = data()
+        x_train, x_test, _ytr, _yte = train_test_split(x, y, 0.3, np.random.default_rng(1))
+        train_rows = {tuple(row) for row in x_train}
+        assert all(tuple(row) not in train_rows for row in x_test)
+
+    def test_unstratified(self):
+        x, y = data()
+        _xtr, x_test, _ytr, _yte = train_test_split(
+            x, y, 0.25, np.random.default_rng(0), stratify=False
+        )
+        assert len(x_test) == 15
+
+    def test_fraction_validation(self):
+        x, y = data()
+        with pytest.raises(ValueError):
+            train_test_split(x, y, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(x, y, 1.0)
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_everything(self):
+        _x, y = data()
+        seen = []
+        for _train, test in stratified_kfold(y, 4, np.random.default_rng(0)):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(len(y)))
+
+    def test_train_test_disjoint(self):
+        _x, y = data()
+        for train, test in stratified_kfold(y, 4, np.random.default_rng(0)):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_class_balanced(self):
+        _x, y = data()
+        for _train, test in stratified_kfold(y, 4, np.random.default_rng(0)):
+            classes, counts = np.unique(y[test], return_counts=True)
+            assert len(classes) == 3
+            assert counts.max() - counts.min() <= 1
+
+    def test_too_many_splits_rejected(self):
+        y = np.array(["a", "a", "b", "b"])
+        with pytest.raises(ValueError):
+            list(stratified_kfold(y, 3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.array(["a", "a"]), 1))
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self):
+        x, y = data()
+        scores = cross_val_score(GaussianNB, x, y, n_splits=4, rng=np.random.default_rng(0))
+        assert scores.shape == (4,)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_easy_data_high_scores(self):
+        x, y = data()
+        scores = cross_val_score(GaussianNB, x, y, n_splits=4, rng=np.random.default_rng(0))
+        assert scores.mean() > 0.9

@@ -1,0 +1,97 @@
+"""StandardScaler and PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml import PCA, StandardScaler
+
+RNG = np.random.default_rng(0)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        x = RNG.normal(3.0, 5.0, (100, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided(self):
+        x = np.ones((10, 2))
+        x[:, 1] = RNG.normal(size=10)
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z[:, 0], 0.0)
+        assert np.isfinite(z).all()
+
+    def test_inverse_roundtrip(self):
+        x = RNG.normal(size=(20, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_train_statistics_applied_to_test(self):
+        train = RNG.normal(10.0, 1.0, (50, 2))
+        scaler = StandardScaler().fit(train)
+        test = np.full((5, 2), 10.0)
+        np.testing.assert_allclose(scaler.transform(test), 0.0, atol=0.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self):
+        direction = np.array([3.0, 4.0]) / 5.0
+        t = RNG.normal(size=(200, 1))
+        x = t * direction + RNG.normal(0, 0.01, (200, 2))
+        pca = PCA(1).fit(x)
+        component = pca.components_[0]
+        assert abs(component @ direction) == pytest.approx(1.0, abs=1e-3)
+
+    def test_explained_variance_sorted(self):
+        x = RNG.normal(size=(100, 5)) * np.array([5.0, 3.0, 1.0, 0.5, 0.1])
+        pca = PCA(5).fit(x)
+        ev = pca.explained_variance_
+        assert (np.diff(ev) <= 1e-9).all()
+
+    def test_transform_shape(self):
+        x = RNG.normal(size=(30, 8))
+        z = PCA(3).fit_transform(x)
+        assert z.shape == (30, 3)
+
+    def test_components_capped(self):
+        x = RNG.normal(size=(5, 3))
+        pca = PCA(10).fit(x)
+        assert pca.components_.shape[0] <= 3
+
+    def test_reconstruction_improves_with_components(self):
+        x = RNG.normal(size=(60, 6)) @ RNG.normal(size=(6, 6))
+
+        def err(k):
+            pca = PCA(k).fit(x)
+            back = pca.inverse_transform(pca.transform(x))
+            return float(np.linalg.norm(x - back))
+
+        assert err(5) <= err(2) <= err(1)
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_orthonormal_components(self, k):
+        x = np.random.default_rng(k).normal(size=(40, 6))
+        pca = PCA(k).fit(x)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(pca.components_.shape[0]), atol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(0)

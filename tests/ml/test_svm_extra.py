@@ -1,0 +1,61 @@
+"""SVM internals beyond the shared classifier contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearSVM, RbfSVM
+
+
+def margin_data(n=60, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x_pos = rng.normal(0, 0.4, (n // 2, 2)) + [gap, 0.0]
+    x_neg = rng.normal(0, 0.4, (n // 2, 2)) - [gap, 0.0]
+    x = np.concatenate([x_pos, x_neg])
+    y = np.array(["pos"] * (n // 2) + ["neg"] * (n // 2))
+    return x, y
+
+
+class TestLinearSVM:
+    def test_decision_function_signs(self):
+        x, y = margin_data()
+        model = LinearSVM(epochs=30, rng=np.random.default_rng(0)).fit(x, y)
+        scores = model.decision_function(x)
+        assert scores.shape == (len(x), 2)
+        # The winning class's score column should be the largest.
+        predicted = model.predict(x)
+        np.testing.assert_array_equal(predicted, y)
+
+    def test_regularisation_shrinks_weights(self):
+        x, y = margin_data()
+        soft = LinearSVM(c=0.01, epochs=30, rng=np.random.default_rng(0)).fit(x, y)
+        hard = LinearSVM(c=100.0, epochs=30, rng=np.random.default_rng(0)).fit(x, y)
+        assert np.linalg.norm(soft._w) < np.linalg.norm(hard._w)
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=0.0)
+
+
+class TestRbfSVM:
+    def test_gamma_heuristic_set_on_fit(self):
+        x, y = margin_data()
+        model = RbfSVM(epochs=10, rng=np.random.default_rng(0)).fit(x, y)
+        assert model._gamma_fitted > 0
+
+    def test_explicit_gamma_respected(self):
+        x, y = margin_data()
+        model = RbfSVM(gamma=2.5, epochs=10, rng=np.random.default_rng(0)).fit(x, y)
+        assert model._gamma_fitted == 2.5
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        x = np.concatenate([rng.normal(c * 4, 0.5, (20, 3)) for c in range(3)])
+        y = np.repeat(["a", "b", "c"], 20)
+        model = RbfSVM(epochs=15, rng=np.random.default_rng(0)).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            RbfSVM(c=-1.0)

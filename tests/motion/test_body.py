@@ -1,0 +1,98 @@
+"""Body kinematics and tag attachment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Vec2
+from repro.motion import ATTACHMENTS, PersonProfile, get_primitive, perform
+
+T = np.linspace(0.0, 4.0, 160)
+
+
+def standing_person(seed=0, anchor=Vec2(3.0, 4.0)):
+    return perform(
+        get_primitive("stand_still"), anchor, T, np.random.default_rng(seed), facing=0.0
+    )
+
+
+class TestPersonMotion:
+    def test_center_near_anchor(self):
+        motion = standing_person()
+        assert np.abs(motion.center[:, 0] - 3.0).max() < 0.1
+        assert np.abs(motion.center[:, 1] - 4.0).max() < 0.1
+
+    def test_body_track_radius(self):
+        motion = standing_person()
+        track = motion.body_track()
+        assert track.radius == motion.profile.torso_radius
+        assert track.positions.shape == (len(T), 2)
+
+    @pytest.mark.parametrize("attachment", ATTACHMENTS)
+    def test_tag_positions_shape(self, attachment):
+        motion = standing_person()
+        pos = motion.tag_position(attachment)
+        assert pos.shape == (len(T), 2)
+        assert np.isfinite(pos).all()
+
+    def test_unknown_attachment(self):
+        with pytest.raises(ValueError):
+            standing_person().tag_position("ankle")
+
+    def test_attachments_are_distinct(self):
+        motion = standing_person()
+        hand = motion.tag_position("hand")
+        shoulder = motion.tag_position("shoulder")
+        assert np.linalg.norm(hand - shoulder, axis=1).min() > 0.05
+
+    def test_hand_rides_the_wave(self):
+        motion = perform(
+            get_primitive("wave_hand"),
+            Vec2(0, 0),
+            T,
+            np.random.default_rng(1),
+            facing=0.0,
+        )
+        hand_travel = np.ptp(motion.tag_position("hand"), axis=0).max()
+        shoulder_travel = np.ptp(motion.tag_position("shoulder"), axis=0).max()
+        assert hand_travel > 3 * shoulder_travel
+
+    def test_facing_rotates_attachments(self):
+        east = perform(
+            get_primitive("stand_still"), Vec2(0, 0), T, np.random.default_rng(2), facing=0.0
+        )
+        north = perform(
+            get_primitive("stand_still"),
+            Vec2(0, 0),
+            T,
+            np.random.default_rng(2),
+            facing=np.pi / 2,
+        )
+        # The hand offset direction should rotate with the body.
+        he = east.tag_position("hand")[0] - east.center[0]
+        hn = north.tag_position("hand")[0] - north.center[0]
+        assert abs(he[0]) > abs(he[1])
+        assert abs(hn[1]) > abs(hn[0])
+
+
+class TestProfile:
+    def test_random_profiles_vary(self):
+        rng = np.random.default_rng(0)
+        profiles = [PersonProfile.random(rng) for _ in range(5)]
+        assert len({p.torso_radius for p in profiles}) > 1
+
+    def test_reach_scale_extends_arm(self):
+        short = PersonProfile(reach_scale=0.8)
+        tall = PersonProfile(reach_scale=1.2)
+        m_short = perform(
+            get_primitive("stand_still"), Vec2(0, 0), T, np.random.default_rng(3),
+            profile=short, facing=0.0,
+        )
+        m_tall = perform(
+            get_primitive("stand_still"), Vec2(0, 0), T, np.random.default_rng(3),
+            profile=tall, facing=0.0,
+        )
+        d_short = np.linalg.norm(m_short.tag_position("hand")[0] - m_short.center[0])
+        d_tall = np.linalg.norm(m_tall.tag_position("hand")[0] - m_tall.center[0])
+        assert d_tall > d_short

@@ -1,0 +1,73 @@
+"""Hypothesis-checked invariants of the motion layer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2, make_laboratory
+from repro.motion import ATTACHMENTS, PRIMITIVES, PersonProfile, get_primitive, perform
+
+primitive_names = st.sampled_from(sorted(PRIMITIVES))
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestKinematicBounds:
+    @given(primitive_names, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_tags_stay_near_the_body(self, name, seed):
+        """No attachment may ever fly metres away from the torso —
+        arms have finite length."""
+        t = np.linspace(0.0, 6.0, 120)
+        motion = perform(
+            get_primitive(name), Vec2(5.0, 5.0), t, np.random.default_rng(seed)
+        )
+        for attachment in ATTACHMENTS:
+            offsets = motion.tag_position(attachment) - motion.center
+            assert np.linalg.norm(offsets, axis=1).max() < 1.5
+
+    @given(primitive_names, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_human_speed_limit(self, name, seed):
+        """Frame-to-frame tag velocity stays below a sprint (~6 m/s)."""
+        dt = 0.05
+        t = np.arange(0.0, 6.0, dt)
+        motion = perform(
+            get_primitive(name), Vec2(5.0, 5.0), t, np.random.default_rng(seed)
+        )
+        hand = motion.tag_position("hand")
+        speed = np.linalg.norm(np.diff(hand, axis=0), axis=1) / dt
+        assert speed.max() < 6.0
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_profiles_physical(self, seed):
+        profile = PersonProfile.random(np.random.default_rng(seed))
+        assert 0.1 < profile.torso_radius < 0.3
+        assert 0.5 < profile.reach_scale < 1.5
+        assert 0.5 < profile.tempo_scale < 1.5
+
+
+class TestSceneInvariants:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_instances_keep_people_in_the_room(self, seed):
+        from repro.hardware import UniformLinearArray
+        from repro.motion import SCENARIOS, build_instance
+
+        room = make_laboratory()
+        array = UniformLinearArray(center=Vec2(room.bounds.width / 2.0, 0.3))
+        rng = np.random.default_rng(seed)
+        label = sorted(SCENARIOS)[seed % 12]
+        instance = build_instance(
+            SCENARIOS[label], array, room, duration_s=2.0, slot_s=0.025, rng=rng
+        )
+        for body in instance.scene.bodies:
+            xs, ys = body.positions[:, 0], body.positions[:, 1]
+            # Anchors are placed with a 0.5 m margin; motion may lean a
+            # body slightly further but never through a wall.
+            assert xs.min() > room.bounds.x0 - 0.5
+            assert xs.max() < room.bounds.x1 + 0.5
+            assert ys.min() > room.bounds.y0 - 0.5
+            assert ys.max() < room.bounds.y1 + 0.5

@@ -1,0 +1,81 @@
+"""Motion primitive vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion import PRIMITIVES, get_primitive
+
+T = np.linspace(0.0, 6.0, 240)
+SIGNAL_KEYS = {"dx", "dy", "orientation", "hand_extend", "hand_lateral", "arm_extend"}
+
+
+class TestRegistry:
+    def test_twelve_primitives(self):
+        assert len(PRIMITIVES) == 12
+
+    def test_lookup(self):
+        assert get_primitive("wave_hand").name == "wave_hand"
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="valid"):
+            get_primitive("moonwalk")
+
+
+class TestSignals:
+    @pytest.mark.parametrize("name", sorted(PRIMITIVES))
+    def test_complete_and_finite(self, name):
+        signals = PRIMITIVES[name].sample(T, np.random.default_rng(0))
+        assert set(signals) == SIGNAL_KEYS
+        for key, value in signals.items():
+            assert value.shape == T.shape, key
+            assert np.isfinite(value).all(), key
+
+    @pytest.mark.parametrize("name", sorted(PRIMITIVES))
+    def test_randomised_between_executions(self, name):
+        a = PRIMITIVES[name].sample(T, np.random.default_rng(1))
+        b = PRIMITIVES[name].sample(T, np.random.default_rng(2))
+        different = any(not np.allclose(a[k], b[k]) for k in SIGNAL_KEYS)
+        assert different
+
+    @pytest.mark.parametrize("name", sorted(PRIMITIVES))
+    def test_deterministic_given_rng(self, name):
+        a = PRIMITIVES[name].sample(T, np.random.default_rng(3))
+        b = PRIMITIVES[name].sample(T, np.random.default_rng(3))
+        for key in SIGNAL_KEYS:
+            np.testing.assert_allclose(a[key], b[key])
+
+    def test_stand_still_is_nearly_still(self):
+        signals = PRIMITIVES["stand_still"].sample(T, np.random.default_rng(0))
+        assert np.abs(signals["dx"]).max() < 0.05
+        assert np.abs(signals["dy"]).max() < 0.05
+
+    def test_walk_line_moves_metres(self):
+        signals = PRIMITIVES["walk_line"].sample(T, np.random.default_rng(0))
+        span = np.hypot(signals["dx"], signals["dy"]).max()
+        assert span > 0.3
+
+    def test_wave_hand_moves_hand_not_body(self):
+        signals = PRIMITIVES["wave_hand"].sample(T, np.random.default_rng(0))
+        assert np.abs(signals["hand_lateral"]).max() > 0.2
+        assert np.abs(signals["dx"]).max() < 0.05
+
+    def test_turn_around_rotates(self):
+        signals = PRIMITIVES["turn_around"].sample(T, np.random.default_rng(0))
+        assert np.ptp(signals["orientation"]) > np.pi
+
+    def test_clap_faster_than_wave(self):
+        def dominant_rate(signal: np.ndarray) -> float:
+            spectrum = np.abs(np.fft.rfft(signal - signal.mean()))
+            freqs = np.fft.rfftfreq(len(signal), d=T[1] - T[0])
+            return float(freqs[spectrum.argmax()])
+
+        clap = PRIMITIVES["clap_hands"].sample(T, np.random.default_rng(0))
+        wave = PRIMITIVES["wave_hand"].sample(T, np.random.default_rng(0))
+        assert dominant_rate(clap["hand_lateral"]) > dominant_rate(wave["hand_lateral"])
+
+    def test_sit_down_is_one_way(self):
+        signals = PRIMITIVES["sit_down"].sample(T, np.random.default_rng(0))
+        # Ends displaced (sat down), rather than oscillating back.
+        assert signals["dx"][-1] < -0.2

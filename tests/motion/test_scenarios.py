@@ -1,0 +1,126 @@
+"""The 12 activity scenarios and scene building."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Vec2, make_hall, make_laboratory
+from repro.hardware import UniformLinearArray
+from repro.motion import SCENARIO_LABELS, SCENARIOS, build_instance, place_people
+from repro.motion.primitives import PRIMITIVES
+
+ROOM = make_laboratory()
+ARRAY = UniformLinearArray(center=Vec2(ROOM.bounds.width / 2.0, 0.3))
+
+
+class TestRegistry:
+    def test_twelve_scenarios(self):
+        assert len(SCENARIOS) == 12
+        assert SCENARIO_LABELS == tuple(f"A{i:02d}" for i in range(1, 13))
+
+    def test_primitives_exist(self):
+        for scenario in SCENARIOS.values():
+            for name in scenario.primitives:
+                assert name in PRIMITIVES
+
+    def test_two_person_default(self):
+        for scenario in SCENARIOS.values():
+            assert len(scenario.primitives) == 2
+
+
+class TestPlacement:
+    def test_inside_room_and_separated(self):
+        rng = np.random.default_rng(0)
+        anchors = place_people(3, ARRAY, ROOM, rng)
+        assert len(anchors) == 3
+        for a in anchors:
+            assert ROOM.contains(a, margin=0.4)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert anchors[i].distance_to(anchors[j]) > 0.5
+
+    def test_fixed_distance(self):
+        rng = np.random.default_rng(0)
+        anchors = place_people(2, ARRAY, ROOM, rng, distance_m=3.0)
+        for a in anchors:
+            assert a.distance_to(ARRAY.center) == pytest.approx(3.0, abs=0.6)
+
+    def test_close_distance_possible(self):
+        rng = np.random.default_rng(0)
+        anchors = place_people(2, ARRAY, ROOM, rng, distance_m=1.0)
+        assert len(anchors) == 2
+
+    def test_nominal_spots_repeatable(self):
+        # Executions jitter around per-person floor spots.
+        first = [place_people(2, ARRAY, ROOM, np.random.default_rng(s))[0] for s in range(8)]
+        xs = np.array([a.x for a in first])
+        ys = np.array([a.y for a in first])
+        assert xs.std() < 0.6 and ys.std() < 0.6
+
+    def test_hall_placement(self):
+        hall = make_hall()
+        array = UniformLinearArray(center=Vec2(hall.bounds.width / 2.0, 0.3))
+        anchors = place_people(2, array, hall, np.random.default_rng(1))
+        for a in anchors:
+            assert hall.contains(a, margin=0.4)
+
+
+class TestBuildInstance:
+    def test_default_two_people_three_tags(self):
+        instance = build_instance(
+            SCENARIOS["A01"], ARRAY, ROOM, duration_s=2.0, slot_s=0.025,
+            rng=np.random.default_rng(0),
+        )
+        assert len(instance.scene.bodies) == 2
+        assert len(instance.scene.tag_tracks) == 6
+        assert instance.scene.n_slots == 80
+        assert instance.label == "A01"
+
+    @pytest.mark.parametrize("n_persons", [1, 2, 3])
+    def test_person_count(self, n_persons):
+        instance = build_instance(
+            SCENARIOS["A05"], ARRAY, ROOM, 2.0, 0.025,
+            np.random.default_rng(0), n_persons=n_persons,
+        )
+        assert len(instance.scene.bodies) == n_persons
+        assert len(instance.scene.tag_tracks) == 3 * n_persons
+
+    @pytest.mark.parametrize("tags", [1, 2, 3])
+    def test_tags_per_person(self, tags):
+        instance = build_instance(
+            SCENARIOS["A05"], ARRAY, ROOM, 2.0, 0.025,
+            np.random.default_rng(0), tags_per_person=tags,
+        )
+        assert len(instance.scene.tag_tracks) == 2 * tags
+
+    def test_tags_carried_by_their_person(self):
+        instance = build_instance(
+            SCENARIOS["A01"], ARRAY, ROOM, 2.0, 0.025, np.random.default_rng(0)
+        )
+        carriers = [t.carrier for t in instance.scene.tag_tracks]
+        assert carriers == [0, 0, 0, 1, 1, 1]
+
+    def test_epcs_unique(self):
+        instance = build_instance(
+            SCENARIOS["A01"], ARRAY, ROOM, 2.0, 0.025, np.random.default_rng(0)
+        )
+        epcs = instance.scene.epcs
+        assert len(set(epcs)) == len(epcs)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_instance(
+                SCENARIOS["A01"], ARRAY, ROOM, 2.0, 0.025,
+                np.random.default_rng(0), tags_per_person=0,
+            )
+        with pytest.raises(ValueError):
+            build_instance(
+                SCENARIOS["A01"], ARRAY, ROOM, 2.0, 0.025,
+                np.random.default_rng(0), n_persons=0,
+            )
+
+    def test_executions_differ(self):
+        a = build_instance(SCENARIOS["A01"], ARRAY, ROOM, 2.0, 0.025, np.random.default_rng(1))
+        b = build_instance(SCENARIOS["A01"], ARRAY, ROOM, 2.0, 0.025, np.random.default_rng(2))
+        assert not np.allclose(a.scene.tag_tracks[0].positions, b.scene.tag_tracks[0].positions)

@@ -1,0 +1,58 @@
+"""Training-vs-inference mode propagation through composite models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import M2AIConfig, M2AINet
+
+SHAPES = {"pseudo": (2, 40), "period": (2, 4)}
+
+
+def make_net(dropout: float) -> M2AINet:
+    cfg = M2AIConfig(
+        conv_channels=(3, 4),
+        branch_dim=6,
+        merge_dim=8,
+        lstm_hidden=5,
+        lstm_layers=1,
+        dropout=dropout,
+        epochs=1,
+        warmup_frames=0,
+    )
+    return M2AINet(SHAPES, n_classes=3, cfg=cfg, rng=np.random.default_rng(0))
+
+
+def make_inputs():
+    rng = np.random.default_rng(1)
+    return {name: rng.normal(size=(2, 3, n, d)) for name, (n, d) in SHAPES.items()}
+
+
+class TestModePropagation:
+    def test_inference_deterministic_despite_dropout(self):
+        net = make_net(dropout=0.5)
+        inputs = make_inputs()
+        a = net.forward(inputs, training=False)
+        b = net.forward(inputs, training=False)
+        np.testing.assert_allclose(a, b)
+
+    def test_training_mode_stochastic_with_dropout(self):
+        net = make_net(dropout=0.5)
+        inputs = make_inputs()
+        a = net.forward(inputs, training=True)
+        b = net.forward(inputs, training=True)
+        assert not np.allclose(a, b)
+
+    def test_training_deterministic_without_dropout(self):
+        net = make_net(dropout=0.0)
+        inputs = make_inputs()
+        a = net.forward(inputs, training=True)
+        b = net.forward(inputs, training=True)
+        np.testing.assert_allclose(a, b)
+
+    def test_predict_logits_uses_inference_mode(self):
+        net = make_net(dropout=0.5)
+        inputs = make_inputs()
+        a = net.predict_logits(inputs)
+        b = net.predict_logits(inputs)
+        np.testing.assert_allclose(a, b)

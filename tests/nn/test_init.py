@@ -1,0 +1,50 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import glorot_uniform, he_uniform, orthogonal
+
+RNG = np.random.default_rng(0)
+
+
+class TestGlorot:
+    def test_bounds(self):
+        w = glorot_uniform((100, 50), RNG)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit
+
+    def test_fan_override(self):
+        w = glorot_uniform((10, 10), RNG, fan_in=1000, fan_out=1000)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 2000)
+
+    def test_variance_scaling(self):
+        small = glorot_uniform((2000, 10), RNG)
+        large = glorot_uniform((10, 10), RNG)
+        assert small.std() < large.std()
+
+
+class TestHe:
+    def test_bounds(self):
+        w = he_uniform((64, 32), RNG)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 64)
+
+
+class TestOrthogonal:
+    @pytest.mark.parametrize("shape", [(8, 8), (12, 6), (6, 12)])
+    def test_orthonormal_rows_or_columns(self, shape):
+        w = orthogonal(shape, RNG)
+        assert w.shape == shape
+        if shape[0] >= shape[1]:
+            gram = w.T @ w
+            np.testing.assert_allclose(gram, np.eye(shape[1]), atol=1e-9)
+        else:
+            gram = w @ w.T
+            np.testing.assert_allclose(gram, np.eye(shape[0]), atol=1e-9)
+
+    def test_norm_preserving(self):
+        w = orthogonal((16, 16), RNG)
+        x = RNG.normal(size=16)
+        assert np.linalg.norm(w @ x) == pytest.approx(np.linalg.norm(x))

@@ -1,0 +1,101 @@
+"""The full M2AI network must learn synthetic temporal patterns.
+
+These tests feed hand-built frame sequences whose classes are
+distinguished by *temporal structure only* — the capability the LSTM
+stack exists for — and by *spatial structure only* — the CNN's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ActivityDataset, M2AIConfig, M2AIPipeline
+from repro.dsp.frames import FeatureFrames
+
+CFG = M2AIConfig(
+    conv_channels=(3, 4),
+    branch_dim=8,
+    merge_dim=10,
+    lstm_hidden=8,
+    lstm_layers=1,
+    dropout=0.0,
+    epochs=40,
+    batch_size=8,
+    learning_rate=0.01,
+    warmup_frames=1,
+    augment=False,
+)
+
+
+def temporal_dataset(per_class=14, frames=8, seed=0):
+    """Classes share identical marginal frames; only the ORDER differs.
+
+    Class "rise": a bright band sweeps up the angle axis over time.
+    Class "fall": the same band sweeps down.
+    """
+    rng = np.random.default_rng(seed)
+    samples, labels = [], []
+    for cls, direction in (("rise", 1), ("fall", -1)):
+        for _ in range(per_class):
+            pseudo = rng.normal(0, 0.3, (frames, 2, 40))
+            positions = np.arange(frames) if direction > 0 else np.arange(frames)[::-1]
+            for f, pos in enumerate(positions):
+                centre = 4 + pos * 4
+                pseudo[f, :, centre : centre + 4] += 2.0
+            samples.append(
+                FeatureFrames(
+                    channels={
+                        "pseudo": pseudo,
+                        "period": rng.normal(size=(frames, 2, 4)),
+                    },
+                    label=cls,
+                )
+            )
+            labels.append(cls)
+    return ActivityDataset(samples=samples, labels=labels)
+
+
+def spatial_dataset(per_class=14, frames=5, seed=0):
+    """Classes differ by WHERE the energy sits, identically over time."""
+    rng = np.random.default_rng(seed)
+    samples, labels = [], []
+    for cls in range(3):
+        for _ in range(per_class):
+            pseudo = rng.normal(0, 0.3, (frames, 2, 40))
+            pseudo[:, :, 4 + cls * 12 : 10 + cls * 12] += 2.0
+            samples.append(
+                FeatureFrames(
+                    channels={
+                        "pseudo": pseudo,
+                        "period": rng.normal(size=(frames, 2, 4)),
+                    },
+                    label=f"S{cls}",
+                )
+            )
+            labels.append(f"S{cls}")
+    return ActivityDataset(samples=samples, labels=labels)
+
+
+class TestTemporalCapability:
+    def test_cnn_lstm_learns_direction(self):
+        ds = temporal_dataset()
+        train, test = ds.split(0.25, np.random.default_rng(0))
+        pipeline = M2AIPipeline(CFG, mode="cnn_lstm").fit(train, val=test)
+        assert pipeline.evaluate(test).accuracy > 0.85
+
+    def test_cnn_only_cannot_see_direction(self):
+        """Temporal mean pooling destroys order: CNN-only stays near
+        chance on order-defined classes — the Fig. 17 rationale."""
+        ds = temporal_dataset()
+        train, test = ds.split(0.25, np.random.default_rng(0))
+        pipeline = M2AIPipeline(CFG, mode="cnn").fit(train, val=test)
+        assert pipeline.evaluate(test).accuracy < 0.8
+
+
+class TestSpatialCapability:
+    def test_all_modes_learn_spatial_classes(self):
+        ds = spatial_dataset()
+        train, test = ds.split(0.25, np.random.default_rng(0))
+        for mode in ("cnn_lstm", "cnn"):
+            pipeline = M2AIPipeline(CFG, mode=mode).fit(train, val=test)
+            assert pipeline.evaluate(test).accuracy > 0.85, mode

@@ -1,0 +1,137 @@
+"""Module plumbing: parameter discovery, state snapshots, training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv1d,
+    Dense,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    softmax_cross_entropy,
+)
+
+RNG = np.random.default_rng(1)
+
+
+class Nested(Module):
+    """Module with parameters at several nesting levels."""
+
+    def __init__(self):
+        self.direct = Parameter(np.zeros(3), name="direct")
+        self.child = Dense(2, 2, RNG, name="child")
+        self.children_list = [Dense(2, 2, RNG, name="a"), Dense(2, 2, RNG, name="b")]
+
+    def forward(self, x, training=False):
+        return x
+
+
+class TestParameterDiscovery:
+    def test_finds_all_levels(self):
+        module = Nested()
+        params = module.parameters()
+        # 1 direct + 2 per Dense x 3 Dense layers
+        assert len(params) == 7
+
+    def test_deterministic_order(self):
+        a = Nested().parameters()
+        b = Nested().parameters()
+        assert [p.shape for p in a] == [p.shape for p in b]
+
+    def test_zero_grad(self):
+        module = Nested()
+        for p in module.parameters():
+            p.grad += 1.0
+        module.zero_grad()
+        for p in module.parameters():
+            assert (p.grad == 0).all()
+
+    def test_n_parameters(self):
+        dense = Dense(10, 5, RNG)
+        assert dense.n_parameters() == 10 * 5 + 5
+
+
+class TestState:
+    def test_roundtrip(self):
+        module = Sequential(Dense(3, 4, RNG), ReLU(), Dense(4, 2, RNG))
+        x = RNG.normal(size=(5, 3))
+        before = module(x)
+        state = module.get_state()
+        for p in module.parameters():
+            p.value += 1.0
+        assert not np.allclose(module(x), before)
+        module.set_state(state)
+        np.testing.assert_allclose(module(x), before)
+
+    def test_count_mismatch_rejected(self):
+        module = Dense(3, 4, RNG)
+        with pytest.raises(ValueError):
+            module.set_state([np.zeros((3, 4))])
+
+    def test_shape_mismatch_rejected(self):
+        module = Dense(3, 4, RNG)
+        with pytest.raises(ValueError):
+            module.set_state([np.zeros((4, 3)), np.zeros(4)])
+
+
+class TestSequentialTraining:
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 6))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        net = Sequential(Dense(6, 12, rng, relu_init=True), ReLU(), Dense(12, 2, rng))
+        opt = Adam(net.parameters(), lr=0.01)
+        for _ in range(100):
+            logits = net(x, training=True)
+            _loss, grad = softmax_cross_entropy(logits, y)
+            net.zero_grad()
+            net.backward(grad)
+            opt.step()
+        assert float((net(x).argmax(1) == y).mean()) > 0.97
+
+    def test_learns_nonlinear_xor(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        net = Sequential(Dense(2, 16, rng, relu_init=True), ReLU(), Dense(16, 2, rng))
+        opt = Adam(net.parameters(), lr=0.02)
+        for _ in range(300):
+            logits = net(x, training=True)
+            _loss, grad = softmax_cross_entropy(logits, y)
+            net.zero_grad()
+            net.backward(grad)
+            opt.step()
+        assert float((net(x).argmax(1) == y).mean()) > 0.95
+
+    def test_conv_sequence_trains(self):
+        rng = np.random.default_rng(0)
+        # Detect whether a bump sits in the first or second half.
+        n, length = 200, 16
+        x = np.zeros((n, 1, length))
+        y = np.zeros(n, dtype=int)
+        for i in range(n):
+            pos = rng.integers(0, length - 4)
+            x[i, 0, pos : pos + 4] = 1.0
+            y[i] = int(pos >= length // 2 - 2)
+        x += rng.normal(0, 0.1, x.shape)
+        from repro.nn import Flatten
+
+        net = Sequential(
+            Conv1d(1, 4, 3, rng, stride=1, padding=1),
+            ReLU(),
+            Flatten(),
+            Dense(4 * length, 2, rng),
+        )
+        opt = Adam(net.parameters(), lr=0.01)
+        for _ in range(80):
+            logits = net(x, training=True)
+            _loss, grad = softmax_cross_entropy(logits, y)
+            net.zero_grad()
+            net.backward(grad)
+            opt.step()
+        assert float((net(x).argmax(1) == y).mean()) > 0.95

@@ -1,0 +1,93 @@
+"""Optimisers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, clip_grad_norm
+
+
+def quadratic_params(start=5.0):
+    """One parameter minimising f(w) = w^2 (gradient 2w)."""
+    return [Parameter(np.array([start]))]
+
+
+def step_quadratic(opt, params, n=100):
+    for _ in range(n):
+        for p in params:
+            p.zero_grad()
+            p.grad += 2.0 * p.value
+        opt.step()
+    return float(params[0].value[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        final = step_quadratic(SGD(params, lr=0.1), params)
+        assert abs(final) < 1e-4
+
+    def test_momentum_accelerates(self):
+        plain_params = quadratic_params()
+        step_quadratic(SGD(plain_params, lr=0.01), plain_params, n=20)
+        momentum_params = quadratic_params()
+        step_quadratic(SGD(momentum_params, lr=0.01, momentum=0.9), momentum_params, n=20)
+        assert abs(momentum_params[0].value[0]) < abs(plain_params[0].value[0])
+
+    def test_weight_decay_shrinks(self):
+        p = [Parameter(np.array([1.0]))]
+        opt = SGD(p, lr=0.1, weight_decay=0.5)
+        opt.step()  # zero gradient, only decay
+        assert p[0].value[0] < 1.0
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        final = step_quadratic(Adam(params, lr=0.3), params, n=200)
+        assert abs(final) < 1e-3
+
+    def test_bias_correction_first_step(self):
+        p = [Parameter(np.array([0.0]))]
+        opt = Adam(p, lr=0.1)
+        p[0].grad += 1.0
+        opt.step()
+        # With bias correction the first step is ~lr in magnitude.
+        assert p[0].value[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=-1.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = [Parameter(np.zeros(3))]
+        p[0].grad += np.array([0.1, 0.2, 0.2])
+        norm = clip_grad_norm(p, max_norm=10.0)
+        assert norm == pytest.approx(0.3)
+        np.testing.assert_allclose(p[0].grad, [0.1, 0.2, 0.2])
+
+    def test_clips_to_max(self):
+        p = [Parameter(np.zeros(2))]
+        p[0].grad += np.array([3.0, 4.0])
+        clip_grad_norm(p, max_norm=1.0)
+        assert np.linalg.norm(p[0].grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad += 3.0
+        b.grad += 4.0
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

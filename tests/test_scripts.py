@@ -1,0 +1,50 @@
+"""The experiments runner script's plumbing (no heavy experiments)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def load_runner():
+    spec = importlib.util.spec_from_file_location(
+        "run_experiments", REPO / "scripts" / "run_experiments.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules["run_experiments"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunnerScript:
+    def test_write_orders_by_registry(self, tmp_path):
+        runner = load_runner()
+        out = tmp_path / "EXPERIMENTS.md"
+        runner._write(
+            out,
+            {
+                "fig09": "== fig09 block ==\n",
+                "fig02": "== fig02 block ==\n",
+            },
+        )
+        text = out.read_text()
+        assert text.index("fig02 block") < text.index("fig09 block")
+        assert "paper vs measured" in text
+
+    def test_write_skips_missing(self, tmp_path):
+        runner = load_runner()
+        out = tmp_path / "EXPERIMENTS.md"
+        runner._write(out, {"fig03": "== fig03 block ==\n"})
+        text = out.read_text()
+        assert "fig03 block" in text
+        assert "fig09" not in text.replace("fig09/", "")
+
+    def test_header_mentions_regeneration(self, tmp_path):
+        runner = load_runner()
+        out = tmp_path / "EXPERIMENTS.md"
+        runner._write(out, {})
+        assert "run_experiments.py" in out.read_text()
