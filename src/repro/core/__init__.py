@@ -6,10 +6,11 @@ from repro.core.ensemble import M2AIEnsemble
 from repro.core.model import MODEL_MODES, ConvBranch, DenseBranch, M2AINet
 from repro.core.pipeline import EvaluationResult, M2AIPipeline, baseline_arrays
 from repro.core.serialization import load_pipeline, save_pipeline
-from repro.core.streaming import StreamingIdentifier, WindowDecision
+from repro.core.streaming import ABSTAIN, StreamingIdentifier, WindowDecision
 from repro.core.trainer import TrainHistory, Trainer
 
 __all__ = [
+    "ABSTAIN",
     "MODEL_MODES",
     "ActivityDataset",
     "ChannelScaler",

@@ -123,13 +123,19 @@ class M2AIPipeline:
         return self._encoder.classes_
 
     def evaluate(self, dataset: ActivityDataset) -> EvaluationResult:
-        """Accuracy + confusion matrix on a labelled dataset."""
+        """Accuracy + confusion matrix on a labelled dataset.
+
+        The confusion matrix is indexed by the encoder's full
+        vocabulary (``self.classes``), not just the labels present in
+        ``dataset`` — a test split missing a class would otherwise
+        silently shift the columns relative to other evaluations.
+        """
         predictions = self.predict(dataset)
         labels = np.asarray(dataset.labels)
         return EvaluationResult(
             accuracy=accuracy(labels, predictions),
             confusion=confusion_matrix(
-                labels, predictions, labels=np.asarray(sorted(set(labels.tolist())))
+                labels, predictions, labels=np.asarray(self.classes)
             ),
             predictions=predictions,
             labels=labels,

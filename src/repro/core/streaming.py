@@ -6,6 +6,11 @@ identifier slides a fixed observation window over that stream,
 featurises each window exactly like training samples, and emits a
 labelled, confidence-scored decision per window — the paper's
 "examines both spatial and temporal information in realtime".
+
+No window is ever silently dropped: a window the identifier cannot (or
+should not) classify yields an explicit *abstain* decision carrying a
+machine-readable reason, so a supervisor process can distinguish "the
+room is quiet" from "the reader is failing".
 """
 
 from __future__ import annotations
@@ -20,6 +25,18 @@ from repro.dsp.calibration import PhaseCalibrator, uncalibrated
 from repro.dsp.features import M2AIFeaturizer
 from repro.hardware.llrp import ReadLog
 
+ABSTAIN = "abstain"
+"""Label carried by abstain decisions."""
+
+REASON_TOO_FEW_READS = "too_few_reads"
+"""Abstain reason: the window held fewer than ``min_reads`` reads."""
+
+REASON_DEAD_PORTS = "dead_ports"
+"""Abstain reason: fewer than ``min_live_ports`` ports reported reads."""
+
+REASON_LOW_CONFIDENCE = "low_confidence"
+"""Abstain reason: top softmax probability below ``min_confidence``."""
+
 
 @dataclass(frozen=True)
 class WindowDecision:
@@ -28,9 +45,15 @@ class WindowDecision:
     Attributes:
         t_start_s: window start time in stream time.
         t_end_s: window end time.
-        label: predicted activity class.
-        confidence: softmax probability of the predicted class.
+        label: predicted activity class, or :data:`ABSTAIN`.
+        confidence: softmax probability of the predicted class (0 for
+            an abstain).
         n_reads: reads that fell inside the window.
+        abstained: True when the identifier declined to classify.
+        reason: machine-readable abstain reason (one of
+            :data:`REASON_TOO_FEW_READS`, :data:`REASON_DEAD_PORTS`,
+            :data:`REASON_LOW_CONFIDENCE`), None for a labelled
+            decision.
     """
 
     t_start_s: float
@@ -38,6 +61,8 @@ class WindowDecision:
     label: str
     confidence: float
     n_reads: int
+    abstained: bool = False
+    reason: str | None = None
 
 
 @dataclass
@@ -53,7 +78,12 @@ class StreamingIdentifier:
         hop_s: stride between consecutive windows (defaults to the
             window length: back-to-back, non-overlapping decisions).
         featurizer: preprocessing used during training.
-        min_reads: windows with fewer reads are skipped (tag outage).
+        min_reads: windows with fewer reads abstain (tag outage).
+        min_live_ports: windows observing fewer antenna ports abstain
+            (the spatial features need at least a 2-element aperture).
+        min_confidence: classifications below this top-class
+            probability become abstains; 0 (the default) disables the
+            check, preserving the always-classify behaviour.
     """
 
     pipeline: M2AIPipeline
@@ -62,9 +92,16 @@ class StreamingIdentifier:
     hop_s: float | None = None
     featurizer: object = field(default_factory=M2AIFeaturizer)
     min_reads: int = 32
+    min_live_ports: int = 2
+    min_confidence: float = 0.0
 
     def identify(self, log: ReadLog) -> list[WindowDecision]:
         """Classify every complete window of ``log``.
+
+        Every window position yields exactly one decision — labelled
+        when the window is classifiable, abstaining with a reason
+        otherwise.  Only a log too short to contain a single complete
+        window produces an empty list.
 
         Returns:
             Decisions in time order (possibly empty for a short log).
@@ -94,23 +131,56 @@ class StreamingIdentifier:
             mask = (log.timestamp_s >= start) & (
                 log.timestamp_s < start + self.window_s
             )
-            if int(mask.sum()) >= self.min_reads:
-                window_log = log.select(mask)
-                psi = psi_full[mask]
-                frames = self.featurizer.transform(
-                    window_log, psi, n_frames=n_frames
-                )
-                dataset = ActivityDataset(samples=[frames], labels=["?"])
-                proba = self.pipeline.predict_proba(dataset)[0]
-                best = int(proba.argmax())
-                decisions.append(
-                    WindowDecision(
-                        t_start_s=float(start),
-                        t_end_s=float(start + self.window_s),
-                        label=str(self.pipeline.classes[best]),
-                        confidence=float(proba[best]),
-                        n_reads=int(mask.sum()),
-                    )
-                )
+            decisions.append(
+                self._decide(log, psi_full, mask, float(start), n_frames)
+            )
             start += hop
         return decisions
+
+    def _decide(
+        self,
+        log: ReadLog,
+        psi_full: np.ndarray,
+        mask: np.ndarray,
+        start: float,
+        n_frames: int,
+    ) -> WindowDecision:
+        """One decision for the window selected by ``mask``."""
+        n_reads = int(mask.sum())
+        end = start + self.window_s
+        if n_reads < self.min_reads:
+            return self._abstain(start, end, n_reads, REASON_TOO_FEW_READS)
+        window_log = log.select(mask)
+        live_ports = int(window_log.antenna_liveness().sum())
+        if live_ports < self.min_live_ports:
+            return self._abstain(start, end, n_reads, REASON_DEAD_PORTS)
+        psi = psi_full[mask]
+        frames = self.featurizer.transform(window_log, psi, n_frames=n_frames)
+        dataset = ActivityDataset(samples=[frames], labels=["?"])
+        proba = self.pipeline.predict_proba(dataset)[0]
+        best = int(proba.argmax())
+        confidence = float(proba[best])
+        if confidence < self.min_confidence:
+            return self._abstain(
+                start, end, n_reads, REASON_LOW_CONFIDENCE
+            )
+        return WindowDecision(
+            t_start_s=start,
+            t_end_s=end,
+            label=str(self.pipeline.classes[best]),
+            confidence=confidence,
+            n_reads=n_reads,
+        )
+
+    def _abstain(
+        self, start: float, end: float, n_reads: int, reason: str
+    ) -> WindowDecision:
+        return WindowDecision(
+            t_start_s=start,
+            t_end_s=end,
+            label=ABSTAIN,
+            confidence=0.0,
+            n_reads=n_reads,
+            abstained=True,
+            reason=reason,
+        )

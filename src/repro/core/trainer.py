@@ -89,17 +89,17 @@ class Trainer:
                     batch = augment_batch(batch, self._rng, AugmentConfig())
                 logits = self.model.forward(batch, training=True)
                 frames = logits.shape[1]
-                start = 0
+                warmup_start = 0
                 if self.model.mode != "cnn":
-                    start = min(self.cfg.warmup_frames, frames - 1)
+                    warmup_start = min(self.cfg.warmup_frames, frames - 1)
                 frame_labels = np.repeat(
-                    label_ids[idx][:, None], frames - start, axis=1
+                    label_ids[idx][:, None], frames - warmup_start, axis=1
                 )
                 loss, dsliced = softmax_cross_entropy(
-                    logits[:, start:, :], frame_labels
+                    logits[:, warmup_start:, :], frame_labels
                 )
                 dlogits = np.zeros_like(logits)
-                dlogits[:, start:, :] = dsliced
+                dlogits[:, warmup_start:, :] = dsliced
                 self.model.zero_grad()
                 self.model.backward(dlogits)
                 clip_grad_norm(self.model.parameters(), self.cfg.clip_norm)

@@ -42,6 +42,7 @@ from repro.dsp.music import (
     PHASE_MULTIPLIER,
     MusicResult,
     estimate_n_sources,
+    masked_pseudospectrum,
     music_pseudospectrum,
     steering_matrix,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "fold_double",
     "localize_tag",
     "forward_backward",
+    "masked_pseudospectrum",
     "music_pseudospectrum",
     "normalize_pseudospectrum",
     "periodogram_psd",

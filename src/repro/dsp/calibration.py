@@ -39,15 +39,26 @@ class _AntennaCalibration:
     has_fit: bool
 
     def offset_for(self, channel: int, frequencies_hz: np.ndarray) -> float:
-        """Offset for a channel, falling back to the linear fit."""
+        """Offset for a channel never observed during calibration.
+
+        Fallback chain: the linear phase-vs-frequency fit when enough
+        channels were observed, else the nearest *observed* channel by
+        frequency (the best local estimate a sparse bootstrap allows —
+        e.g. a reference channel blanked by a fade), else zero.
+        """
         value = self.offsets[channel]
         if not np.isnan(value):
             return float(value)
         if self.has_fit:
             f_mhz = frequencies_hz[channel] / 1e6
             return float(self.fit_intercept + self.fit_slope_per_mhz * f_mhz)
-        finite = self.offsets[~np.isnan(self.offsets)]
-        return float(circular_median(finite)) if finite.size else 0.0
+        observed = np.flatnonzero(~np.isnan(self.offsets))
+        if observed.size == 0:
+            return 0.0
+        nearest = observed[
+            np.argmin(np.abs(frequencies_hz[observed] - frequencies_hz[channel]))
+        ]
+        return float(self.offsets[nearest])
 
 
 @dataclass
@@ -142,6 +153,29 @@ class PhaseCalibrator:
         """Fraction of channels directly observed during calibration."""
         table = self._tables[(tag, antenna)]
         return float(np.mean(~np.isnan(table.offsets)))
+
+    def interpolated_channels(self, tag: int, antenna: int) -> np.ndarray:
+        """Channels covered only by interpolation for one (tag, port).
+
+        These are the channels with no direct bootstrap observation;
+        :meth:`calibrate` serves them through the linear fit or the
+        nearest observed channel.  An empty array means full coverage.
+        """
+        table = self._tables[(tag, antenna)]
+        return np.flatnonzero(np.isnan(table.offsets))
+
+    def interpolation_report(self) -> dict[tuple[int, int], np.ndarray]:
+        """Interpolated channels for every calibrated (tag, port) pair.
+
+        The degradation report a deployment wants in its logs: which
+        parts of the calibration table are guesses rather than
+        measurements (and, via
+        ``log.meta.reference_channel in report[key]``, whether the
+        reference channel itself had to be interpolated).
+        """
+        return {
+            key: self.interpolated_channels(*key) for key in sorted(self._tables)
+        }
 
 
 def uncalibrated(log: ReadLog) -> np.ndarray:

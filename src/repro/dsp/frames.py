@@ -17,7 +17,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dsp.correlation import spatial_covariance
-from repro.dsp.music import DEFAULT_ANGLES_DEG, music_pseudospectrum
+from repro.dsp.music import (
+    DEFAULT_ANGLES_DEG,
+    masked_pseudospectrum,
+    music_pseudospectrum,
+)
 from repro.dsp.periodogram import spatial_periodogram
 from repro.dsp.snapshots import TagSnapshots, build_snapshots
 from repro.hardware.llrp import ReadLog
@@ -108,6 +112,13 @@ def build_spectrum_frames(
     the tag's previous frame (zero for a missing first frame) — the
     streaming-friendly imputation a real deployment would use.
 
+    Dead antenna ports (no reads anywhere in ``log``) degrade the
+    computation instead of poisoning it: the pseudospectrum shrinks to
+    the surviving subarray and the periodogram is re-normalised to the
+    live aperture.  Feature shapes are unchanged, so a model trained on
+    the healthy array still accepts the degraded frames; with every
+    port live, the output is identical to the healthy path.
+
     Args:
         log: session read log.
         psi: doubled phases aligned with the log (calibrated or not).
@@ -118,13 +129,17 @@ def build_spectrum_frames(
         label: ground-truth activity class to attach.
 
     Returns:
-        The assembled :class:`FeatureFrames`.
+        The assembled :class:`FeatureFrames`; ``meta["antenna_liveness"]``
+        records the port mask the features were computed under.
     """
     grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
     snapshot_sets = tag_snapshot_set(log, psi, n_frames)
     frames = snapshot_sets[0].n_frames
     n_tags = len(snapshot_sets)
     n_ant = log.meta.n_antennas
+    live = log.antenna_liveness()
+    healthy = bool(live.all())
+    can_aoa = int(live.sum()) >= 2
 
     pseudo = np.zeros((frames, n_tags, grid.size)) if include_pseudo else None
     period = np.zeros((frames, n_tags, n_ant)) if include_period else None
@@ -140,20 +155,37 @@ def build_spectrum_frames(
                 continue
             z, valid = snaps.z[f], snaps.valid[f]
             if pseudo is not None:
-                cov = spatial_covariance(z, valid)
-                result = music_pseudospectrum(
-                    cov,
-                    spacing_m=log.meta.spacing_m,
-                    wavelength_m=float(snaps.wavelength_m[f]),
-                    angles_deg=grid,
-                )
-                pseudo[f, k] = normalize_pseudospectrum(result.spectrum)
+                if healthy:
+                    cov = spatial_covariance(z, valid)
+                    result = music_pseudospectrum(
+                        cov,
+                        spacing_m=log.meta.spacing_m,
+                        wavelength_m=float(snaps.wavelength_m[f]),
+                        angles_deg=grid,
+                    )
+                    pseudo[f, k] = normalize_pseudospectrum(result.spectrum)
+                elif can_aoa:
+                    result = masked_pseudospectrum(
+                        z,
+                        valid,
+                        live,
+                        spacing_m=log.meta.spacing_m,
+                        wavelength_m=float(snaps.wavelength_m[f]),
+                        angles_deg=grid,
+                    )
+                    pseudo[f, k] = normalize_pseudospectrum(result.spectrum)
+                elif f > 0:
+                    pseudo[f, k] = pseudo[f - 1, k]
             if period is not None:
-                period[f, k] = power_to_db(spatial_periodogram(z, valid))
+                period[f, k] = power_to_db(
+                    spatial_periodogram(z, valid, liveness=None if healthy else live)
+                )
 
     channels: dict[str, np.ndarray] = {}
     if pseudo is not None:
         channels["pseudo"] = pseudo
     if period is not None:
         channels["period"] = period
-    return FeatureFrames(channels=channels, label=label)
+    return FeatureFrames(
+        channels=channels, label=label, meta={"antenna_liveness": live}
+    )

@@ -32,6 +32,7 @@ def steering_matrix(
     spacing_m: float,
     wavelength_m: float,
     phase_multiplier: float = PHASE_MULTIPLIER,
+    element_indices: np.ndarray | None = None,
 ) -> np.ndarray:
     """Array steering vectors (Eq. 8) for a grid of angles.
 
@@ -43,6 +44,10 @@ def steering_matrix(
         wavelength_m: carrier wavelength.
         phase_multiplier: phase-per-metre multiplier of the measurement
             domain (4 for calibrated doubled backscatter phases).
+        element_indices: positions (in units of ``spacing_m``) of the
+            elements actually used — a *sparse* subarray when ports are
+            dead.  Defaults to the full ULA ``0..n_antennas-1``; when
+            given, its length must be ``n_antennas``.
 
     Returns:
         ``(N, A)`` complex matrix, one column per angle.
@@ -51,7 +56,12 @@ def steering_matrix(
     per_element = (
         phase_multiplier * 2.0 * np.pi * spacing_m * np.cos(angles) / wavelength_m
     )
-    idx = np.arange(n_antennas)[:, None]
+    if element_indices is None:
+        idx = np.arange(n_antennas)[:, None]
+    else:
+        idx = np.asarray(element_indices, dtype=np.float64)[:, None]
+        if idx.shape[0] != n_antennas:
+            raise ValueError("element_indices must match n_antennas")
     # Sign convention: element i sits at +i*D along the array axis, so a
     # source at angle theta (measured from that axis) is *closer* to
     # higher-index elements by i*D*cos(theta); the measured propagation
@@ -114,6 +124,7 @@ def music_pseudospectrum(
     angles_deg: np.ndarray | None = None,
     n_sources: int | None = None,
     phase_multiplier: float = PHASE_MULTIPLIER,
+    element_indices: np.ndarray | None = None,
 ) -> MusicResult:
     """Compute the MUSIC pseudospectrum of one covariance matrix.
 
@@ -125,6 +136,11 @@ def music_pseudospectrum(
         n_sources: force the signal-subspace dimension; estimated from
             the eigenvalue gap when None.
         phase_multiplier: see :func:`steering_matrix`.
+        element_indices: physical positions of the covariance's
+            elements, for a covariance already shrunk to the *live*
+            ports of a degraded array (see
+            :func:`masked_pseudospectrum`).  None means the full
+            contiguous ULA.
 
     Returns:
         A :class:`MusicResult`.
@@ -147,7 +163,8 @@ def music_pseudospectrum(
     noise = eigvecs[:, m:]
 
     a = steering_matrix(
-        grid, r.shape[0], spacing_m, wavelength_m, phase_multiplier
+        grid, r.shape[0], spacing_m, wavelength_m, phase_multiplier,
+        element_indices=element_indices,
     )
     proj = noise.conj().T @ a
     denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=0), 1e-12)
@@ -157,4 +174,66 @@ def music_pseudospectrum(
         spectrum=spectrum,
         n_sources=m,
         eigenvalues=eigvals,
+    )
+
+
+def masked_pseudospectrum(
+    snapshots: np.ndarray,
+    valid: np.ndarray,
+    liveness: np.ndarray,
+    spacing_m: float,
+    wavelength_m: float,
+    angles_deg: np.ndarray | None = None,
+    n_sources: int | None = None,
+    phase_multiplier: float = PHASE_MULTIPLIER,
+) -> MusicResult:
+    """MUSIC over the live subarray of a degraded antenna array.
+
+    Instead of silently ingesting zero columns for dead ports (which
+    biases the covariance and plants spurious nulls), the correlation
+    matrix is shrunk to the surviving elements and the steering vectors
+    are evaluated at their true, possibly non-contiguous positions.
+    With every port live this is exactly the full-array pipeline.
+
+    Args:
+        snapshots: ``(K, N)`` complex snapshots over the *full* array.
+        valid: ``(K, N)`` observation mask.
+        liveness: ``(N,)`` port-liveness mask; at least two ports must
+            be live for an angle spectrum to exist.
+        spacing_m: full-array element spacing.
+        wavelength_m: carrier wavelength.
+        angles_deg: evaluation grid.
+        n_sources: forced signal-subspace dimension.
+        phase_multiplier: see :func:`steering_matrix`.
+
+    Raises:
+        ValueError: when fewer than two ports are live.
+    """
+    from repro.dsp.correlation import spatial_covariance
+
+    live = np.asarray(liveness, dtype=bool)
+    if int(live.sum()) < 2:
+        raise ValueError("need at least two live ports for AoA")
+    if live.all():
+        cov = spatial_covariance(snapshots, valid)
+        return music_pseudospectrum(
+            cov, spacing_m, wavelength_m, angles_deg, n_sources, phase_multiplier
+        )
+    indices = np.flatnonzero(live)
+    # Forward-backward averaging requires a mirror-symmetric element
+    # layout; a ragged surviving subarray (e.g. ports 0, 1, 3) is not,
+    # so FB is only kept when the survivors stay uniformly spaced.
+    gaps = np.diff(indices)
+    uniform = bool(gaps.size == 0 or np.all(gaps == gaps[0]))
+    cov = spatial_covariance(
+        snapshots[:, indices], valid[:, indices], use_forward_backward=uniform
+    )
+    return music_pseudospectrum(
+        cov,
+        spacing_m,
+        wavelength_m,
+        angles_deg,
+        n_sources,
+        phase_multiplier,
+        element_indices=indices,
     )

@@ -38,7 +38,9 @@ def periodogram_psd(y: np.ndarray) -> np.ndarray:
 
 
 def spatial_periodogram(
-    snapshots: np.ndarray, valid: np.ndarray | None = None
+    snapshots: np.ndarray,
+    valid: np.ndarray | None = None,
+    liveness: np.ndarray | None = None,
 ) -> np.ndarray:
     """Average spatial periodogram of a dwell's snapshots.
 
@@ -46,26 +48,46 @@ def spatial_periodogram(
         snapshots: ``(K, N)`` complex snapshots (rounds x antennas).
         valid: optional ``(K, N)`` observation mask; incomplete
             snapshots are dropped when any complete one exists.
+        liveness: optional ``(N,)`` port-liveness mask for a degraded
+            array.  Dead ports are excluded from the completeness
+            check, forced to zero, and the power density is rescaled by
+            ``N / n_live`` so the per-live-element power level stays
+            comparable to the healthy array instead of silently
+            sagging.  None (or all-live) reproduces the healthy path
+            exactly.
 
     Returns:
         ``(N,)`` mean power per spatial-frequency bin.
 
     Raises:
-        ValueError: when nothing is observed.
+        ValueError: when nothing is observed, or no port is live.
     """
     x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise ValueError("snapshots must be (K, N)")
+    live = None
+    if liveness is not None:
+        live = np.asarray(liveness, dtype=bool)
+        if live.shape != (x.shape[1],):
+            raise ValueError("liveness must be (N,)")
+        if not live.any():
+            raise ValueError("no live ports")
+        if live.all():
+            live = None
     if valid is not None:
-        complete = valid.all(axis=1)
+        complete = valid.all(axis=1) if live is None else valid[:, live].all(axis=1)
         if complete.any():
             x = x[complete]
         elif not valid.any():
             raise ValueError("no valid snapshots")
     if x.shape[0] == 0:
         raise ValueError("no valid snapshots")
+    scale = 1.0
+    if live is not None:
+        x = np.where(live[None, :], x, 0.0)
+        scale = x.shape[1] / float(live.sum())
     powers = np.abs(np.fft.fft(x, axis=1)) ** 2 / x.shape[1]
-    return powers.mean(axis=0)
+    return scale * powers.mean(axis=0)
 
 
 def total_power(y: np.ndarray) -> float:

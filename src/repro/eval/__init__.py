@@ -29,6 +29,12 @@ from repro.eval.extensions import (
     run_ext_transfer,
 )
 from repro.eval.reporting import ExperimentResult, ExperimentRow, bar_chart
+from repro.eval.robustness import (
+    RobustnessCell,
+    RobustnessReport,
+    robustness_sweep,
+    run_ext_robustness,
+)
 from repro.eval.signal_studies import run_fig02, run_fig03
 
 ALL_EXPERIMENTS = {
@@ -45,7 +51,10 @@ __all__ = [
     "EXTENSIONS",
     "ExperimentResult",
     "ExperimentRow",
+    "RobustnessCell",
+    "RobustnessReport",
     "bar_chart",
+    "robustness_sweep",
     "baseline_zoo",
     "clear_cache",
     "eval_baselines",
@@ -54,6 +63,7 @@ __all__ = [
     "run_ext_augmentation",
     "run_ext_hub_coverage",
     "run_ext_realtime",
+    "run_ext_robustness",
     "run_ext_transfer",
     "run_fig02",
     "run_fig03",

@@ -18,6 +18,7 @@ from repro.core.pipeline import M2AIPipeline
 from repro.data.generator import GenerationConfig, vary
 from repro.eval.harness import get_dataset, train_eval_m2ai
 from repro.eval.reporting import ExperimentResult, ExperimentRow
+from repro.eval.robustness import run_ext_robustness
 
 
 def _training(quick: bool, seed: int) -> M2AIConfig:
@@ -203,5 +204,6 @@ EXTENSIONS = {
     "ext-hub": run_ext_hub_coverage,
     "ext-augment": run_ext_augmentation,
     "ext-realtime": run_ext_realtime,
+    "ext-robustness": run_ext_robustness,
 }
 """Extension studies, keyed by id."""

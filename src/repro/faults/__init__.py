@@ -1,0 +1,42 @@
+"""Fault injection: deployment failure modes over simulated read logs.
+
+The simulator produces clean logs; deployments do not.  This package
+models the dominant UHF-RFID failure modes — read dropout, bursty
+outages, dead antenna ports, phase glitches, RSSI fades, timestamp
+jitter, ghost reads, and calibration channel gaps — as composable,
+seeded transforms over :class:`~repro.hardware.llrp.ReadLog`, so the
+robustness of the identification pipeline can be quantified
+reproducibly (see :mod:`repro.eval.robustness`).
+"""
+
+from repro.faults.injectors import (
+    FAULT_KINDS,
+    INJECTORS,
+    FaultSpec,
+    apply_faults,
+    inject_burst_outage,
+    inject_calibration_gap,
+    inject_dead_port,
+    inject_dropout,
+    inject_ghost_reads,
+    inject_phase_flip,
+    inject_phase_noise,
+    inject_rssi_attenuation,
+    inject_time_jitter,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTORS",
+    "FaultSpec",
+    "apply_faults",
+    "inject_burst_outage",
+    "inject_calibration_gap",
+    "inject_dead_port",
+    "inject_dropout",
+    "inject_ghost_reads",
+    "inject_phase_flip",
+    "inject_phase_noise",
+    "inject_rssi_attenuation",
+    "inject_time_jitter",
+]

@@ -1,0 +1,265 @@
+"""Composable, seeded fault injectors over :class:`ReadLog`.
+
+Real UHF-RFID deployments never deliver the clean logs the simulator
+produces: tag collisions and body blockage cause read dropout and
+bursty outages, antenna ports die (cables, multiplexer faults), the
+R420's phase report occasionally lands on the wrong side of its pi
+ambiguity, RSSI sags with occlusion, host timestamps jitter, EPC
+decoding errors produce ghost reads, and a calibration bootstrap can
+miss channels entirely — including the reference channel.
+
+Every injector is a pure function ``(log, spec, rng) -> log`` driven
+by a :class:`FaultSpec` with a single ``severity`` knob in ``[0, 1]``.
+Severity zero is the identity: the input log is returned unchanged,
+which is what makes clean-path regression checks exact.  Scenarios are
+reproducible: the same spec sequence and seed always produce the same
+corrupted log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.llrp import ReadLog
+
+FAULT_KINDS = (
+    "dropout",
+    "burst_outage",
+    "dead_port",
+    "phase_flip",
+    "phase_noise",
+    "rssi_attenuation",
+    "time_jitter",
+    "ghost_reads",
+    "calibration_gap",
+)
+"""Every supported fault kind, in documentation order."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject, with a severity knob.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        severity: fault intensity in ``[0, 1]``; zero is a no-op.
+        magnitude: the kind's effect size at full severity, overriding
+            its default.  Units are kind-specific: drop probability
+            (``dropout``, ``phase_flip``, ``ghost_reads``), fraction of
+            the log duration (``burst_outage``), fraction of ports
+            (``dead_port``), radians (``phase_noise``), dB
+            (``rssi_attenuation``), seconds (``time_jitter``), fraction
+            of channels (``calibration_gap``).
+    """
+
+    kind: str
+    severity: float
+    magnitude: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+
+    def scaled(self, default_magnitude: float) -> float:
+        """Effect size at this severity."""
+        full = default_magnitude if self.magnitude is None else self.magnitude
+        return self.severity * full
+
+
+def apply_faults(
+    log: ReadLog, specs: list[FaultSpec] | tuple[FaultSpec, ...], seed: int = 0
+) -> ReadLog:
+    """Apply a fault scenario to a log, deterministically.
+
+    Specs are applied in order, sharing one seeded generator, so the
+    same ``(specs, seed)`` pair always yields an identical corrupted
+    log.  Zero-severity specs are skipped outright (identity).
+
+    Args:
+        log: the clean read log.
+        specs: fault scenario, applied left to right.
+        seed: scenario randomness seed.
+
+    Returns:
+        The corrupted :class:`ReadLog` (the input object itself when
+        every spec has zero severity).
+    """
+    rng = np.random.default_rng(seed)
+    out = log
+    for spec in specs:
+        if spec.severity == 0.0:
+            continue
+        out = INJECTORS[spec.kind](out, spec, rng)
+    return out
+
+
+def _keep(log: ReadLog, keep: np.ndarray) -> ReadLog:
+    return log.select(np.asarray(keep, dtype=bool))
+
+
+def inject_dropout(log: ReadLog, spec: FaultSpec, rng: np.random.Generator) -> ReadLog:
+    """Collision/blockage read loss: drop reads i.i.d. across the log."""
+    p = min(spec.scaled(0.9), 1.0)
+    return _keep(log, rng.random(log.n_reads) >= p)
+
+
+def inject_burst_outage(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Per-tag contiguous outage windows (body blockage, tag detuning)."""
+    if log.n_reads == 0:
+        return log
+    t_min = float(log.timestamp_s.min())
+    span = max(float(log.timestamp_s.max()) - t_min, 1e-9)
+    outage = spec.scaled(0.8) * span
+    keep = np.ones(log.n_reads, dtype=bool)
+    for tag in range(log.n_tags):
+        start = t_min + rng.uniform(0.0, max(span - outage, 0.0))
+        in_outage = (
+            (log.tag_index == tag)
+            & (log.timestamp_s >= start)
+            & (log.timestamp_s < start + outage)
+        )
+        keep &= ~in_outage
+    return _keep(log, keep)
+
+
+def inject_dead_port(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Antenna-port failure: all reads of the dead ports vanish.
+
+    At full severity (default magnitude) all but one port die; the
+    number of dead ports rounds up so any nonzero severity kills at
+    least one.
+    """
+    n_ant = log.meta.n_antennas
+    frac = min(spec.scaled(1.0), 1.0)
+    n_dead = min(int(np.ceil(frac * (n_ant - 1))), n_ant - 1)
+    if n_dead == 0:
+        return log
+    dead = rng.choice(n_ant, size=n_dead, replace=False)
+    return _keep(log, ~np.isin(log.antenna, dead))
+
+
+def inject_phase_flip(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Pi-ambiguity glitches: a fraction of reads report ``phase + pi``."""
+    p = min(spec.scaled(0.5), 1.0)
+    flip = rng.random(log.n_reads) < p
+    phase = log.phase_rad.copy()
+    phase[flip] = np.mod(phase[flip] + np.pi, 2.0 * np.pi)
+    return _replace_arrays(log, phase_rad=phase)
+
+
+def inject_phase_noise(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Additive Gaussian phase noise (oscillator drift, low SNR)."""
+    sigma = spec.scaled(0.8)
+    noise = rng.normal(0.0, sigma, log.n_reads)
+    return _replace_arrays(
+        log, phase_rad=np.mod(log.phase_rad + noise, 2.0 * np.pi)
+    )
+
+
+def inject_rssi_attenuation(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Occlusion fades: subtract up to ``magnitude`` dB, jittered per read."""
+    atten = spec.scaled(20.0)
+    per_read = atten * (0.5 + 0.5 * rng.random(log.n_reads))
+    return _replace_arrays(log, rssi_dbm=log.rssi_dbm - per_read)
+
+
+def inject_time_jitter(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Host-side timestamping jitter, uniform in ``+-magnitude`` seconds."""
+    jitter = spec.scaled(log.meta.slot_s / 2.0)
+    offsets = rng.uniform(-jitter, jitter, log.n_reads)
+    return _replace_arrays(log, timestamp_s=log.timestamp_s + offsets)
+
+
+def inject_ghost_reads(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Duplicate/ghost reads: re-emit a fraction of reads, perturbed."""
+    if log.n_reads == 0:
+        return log
+    p = min(spec.scaled(0.5), 1.0)
+    ghosts = np.flatnonzero(rng.random(log.n_reads) < p)
+    if ghosts.size == 0:
+        return log
+    dup = log.select(np.isin(np.arange(log.n_reads), ghosts))
+    phase = np.mod(
+        dup.phase_rad + rng.normal(0.0, 0.3, dup.n_reads), 2.0 * np.pi
+    )
+    ts = dup.timestamp_s + rng.uniform(0.0, log.meta.slot_s, dup.n_reads)
+    timestamps = np.concatenate([log.timestamp_s, ts])
+    order = np.argsort(timestamps, kind="stable")
+    return ReadLog(
+        epcs=log.epcs,
+        tag_index=np.concatenate([log.tag_index, dup.tag_index])[order],
+        antenna=np.concatenate([log.antenna, dup.antenna])[order],
+        channel=np.concatenate([log.channel, dup.channel])[order],
+        frequency_hz=np.concatenate([log.frequency_hz, dup.frequency_hz])[order],
+        timestamp_s=timestamps[order],
+        phase_rad=np.concatenate([log.phase_rad, phase])[order],
+        rssi_dbm=np.concatenate([log.rssi_dbm, dup.rssi_dbm])[order],
+        meta=log.meta,
+    )
+
+
+def inject_calibration_gap(
+    log: ReadLog, spec: FaultSpec, rng: np.random.Generator
+) -> ReadLog:
+    """Unvisited calibration channels, always including the reference.
+
+    Meant for the *calibration* log: removes every read on a severity-
+    scaled fraction of channels so the calibrator must interpolate —
+    the reference channel is always in the gap, exercising its
+    fallback.
+    """
+    n_channels = int(np.asarray(log.meta.frequencies_hz).size)
+    frac = min(spec.scaled(0.5), 1.0)
+    n_gap = min(max(1, int(np.ceil(frac * n_channels))), n_channels - 1)
+    others = np.delete(np.arange(n_channels), log.meta.reference_channel)
+    extra = rng.choice(others, size=n_gap - 1, replace=False) if n_gap > 1 else []
+    gap = np.concatenate([[log.meta.reference_channel], np.asarray(extra, dtype=int)])
+    return _keep(log, ~np.isin(log.channel, gap))
+
+
+def _replace_arrays(log: ReadLog, **arrays: np.ndarray) -> ReadLog:
+    fields = dict(
+        epcs=log.epcs,
+        tag_index=log.tag_index,
+        antenna=log.antenna,
+        channel=log.channel,
+        frequency_hz=log.frequency_hz,
+        timestamp_s=log.timestamp_s,
+        phase_rad=log.phase_rad,
+        rssi_dbm=log.rssi_dbm,
+        meta=log.meta,
+    )
+    fields.update(arrays)
+    return ReadLog(**fields)
+
+
+INJECTORS = {
+    "dropout": inject_dropout,
+    "burst_outage": inject_burst_outage,
+    "dead_port": inject_dead_port,
+    "phase_flip": inject_phase_flip,
+    "phase_noise": inject_phase_noise,
+    "rssi_attenuation": inject_rssi_attenuation,
+    "time_jitter": inject_time_jitter,
+    "ghost_reads": inject_ghost_reads,
+    "calibration_gap": inject_calibration_gap,
+}
+"""Injector function per fault kind."""

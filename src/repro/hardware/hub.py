@@ -89,27 +89,53 @@ class AntennaHub:
         return covered
 
 
-def merge_hub_features(per_array: list[FeatureFrames]) -> FeatureFrames:
+def merge_hub_features(
+    per_array: list[FeatureFrames | None], with_liveness: bool = False
+) -> FeatureFrames:
     """Concatenate per-array features into one multi-view sample.
 
     Channels are suffixed with the array index (``pseudo@0``,
     ``pseudo@1``, ...), so the network grows one encoder branch per
     viewpoint.
 
+    The merge degrades to the surviving arrays instead of failing the
+    whole sample: a lost member — passed as ``None`` (reader offline)
+    or disagreeing on the frame/tag shape (truncated session) — is
+    zero-filled with the surviving members' channel layout, so the
+    merged sample keeps the shape the model was trained on.
+
+    Args:
+        per_array: one :class:`FeatureFrames` per hub member, ``None``
+            for a member whose reader produced nothing.
+        with_liveness: also emit a per-member ``alive@i`` channel
+            (ones for a surviving view, zeros for a zero-filled one) so
+            the learner can tell a dead viewpoint from a silent room.
+            Off by default — it changes the channel set, so a model
+            must be trained with it on.
+
     Raises:
-        ValueError: when the arrays disagree on frames/tags.
+        ValueError: when the list is empty or no member survived.
     """
     if not per_array:
         raise ValueError("nothing to merge")
-    frames = per_array[0].n_frames
-    tags = per_array[0].n_tags
+    reference = next((feat for feat in per_array if feat is not None), None)
+    if reference is None:
+        raise ValueError("no surviving hub members to merge")
+    frames = reference.n_frames
+    tags = reference.n_tags
     channels: dict[str, np.ndarray] = {}
     for idx, feat in enumerate(per_array):
-        if feat.n_frames != frames or feat.n_tags != tags:
-            raise ValueError("hub members disagree on sample shape")
-        for name, arr in feat.channels.items():
+        alive = feat is not None and feat.n_frames == frames and feat.n_tags == tags
+        source = feat.channels if alive else {
+            name: np.zeros_like(arr) for name, arr in reference.channels.items()
+        }
+        for name, arr in source.items():
             channels[f"{name}@{idx}"] = arr
-    return FeatureFrames(channels=channels, label=per_array[0].label)
+        if with_liveness:
+            channels[f"alive@{idx}"] = np.full(
+                (frames, tags, 1), 1.0 if alive else 0.0
+            )
+    return FeatureFrames(channels=channels, label=reference.label)
 
 
 def _freeze_scene(scene: Scene, n_slots: int) -> Scene:

@@ -96,7 +96,18 @@ class ReadLog:
         return self._per_tag_cache[tag_index]
 
     def select(self, mask: np.ndarray) -> "ReadLog":
-        """Sub-log of reads where ``mask`` is True."""
+        """Sub-log of reads where ``mask`` is True.
+
+        Raises:
+            ValueError: when ``mask`` is not a boolean array of length
+                ``n_reads``.
+        """
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self.n_reads,):
+            raise ValueError(
+                f"mask must be a boolean array of length {self.n_reads}, "
+                f"got dtype {mask.dtype} shape {mask.shape}"
+            )
         return ReadLog(
             epcs=self.epcs,
             tag_index=self.tag_index[mask],
@@ -108,6 +119,23 @@ class ReadLog:
             rssi_dbm=self.rssi_dbm[mask],
             meta=self.meta,
         )
+
+    def antenna_liveness(self) -> np.ndarray:
+        """Which antenna ports produced at least one read.
+
+        A port silent over a whole log is, for processing purposes,
+        dead — whether from a cable fault, a mux failure, or an
+        injected :mod:`repro.faults` scenario.  The DSP stages use this
+        mask to shrink to the surviving subarray instead of silently
+        ingesting zeros.
+
+        Returns:
+            ``(n_antennas,)`` boolean mask, True where the port is live.
+        """
+        live = np.zeros(self.meta.n_antennas, dtype=bool)
+        seen = np.unique(self.antenna)
+        live[seen[(seen >= 0) & (seen < self.meta.n_antennas)]] = True
+        return live
 
     def read_rate_hz(self, tag_index: int) -> float:
         """Average reads/second for one tag (0 when unseen)."""
@@ -131,6 +159,10 @@ def concatenate_logs(logs: list[ReadLog]) -> ReadLog:
             raise ValueError("cannot concatenate logs with different tag sets")
         if log.meta.n_antennas != first.meta.n_antennas:
             raise ValueError("cannot concatenate logs with different readers")
+        if log.meta.dwell_s != first.meta.dwell_s or log.meta.slot_s != first.meta.slot_s:
+            raise ValueError("cannot concatenate logs with different reader timing")
+        if not np.array_equal(log.meta.frequencies_hz, first.meta.frequencies_hz):
+            raise ValueError("cannot concatenate logs with different channel tables")
     return ReadLog(
         epcs=first.epcs,
         tag_index=np.concatenate([log.tag_index for log in logs]),

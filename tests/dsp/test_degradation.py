@@ -1,0 +1,240 @@
+"""Graceful degradation of the DSP stack under dead ports and gaps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.angles import fold_double
+from repro.dsp.calibration import PhaseCalibrator
+from repro.dsp.correlation import spatial_covariance
+from repro.dsp.frames import build_spectrum_frames
+from repro.dsp.music import (
+    PHASE_MULTIPLIER,
+    masked_pseudospectrum,
+    music_pseudospectrum,
+)
+from repro.dsp.periodogram import spatial_periodogram
+from repro.faults import FaultSpec, apply_faults
+from repro.hardware import ReadLog, ReaderMeta
+
+SPACING = 0.04
+WAVELENGTH = 8.0 * SPACING  # the paper's D = lambda/8 design point
+
+
+def source_snapshots(theta_deg: float, n_ant: int = 4, k: int = 32, seed: int = 0):
+    """Snapshots of one far-field source at ``theta_deg`` plus tiny noise."""
+    rng = np.random.default_rng(seed)
+    per_element = (
+        PHASE_MULTIPLIER
+        * 2.0
+        * np.pi
+        * SPACING
+        * np.cos(np.deg2rad(theta_deg))
+        / WAVELENGTH
+    )
+    steering = np.exp(1j * np.arange(n_ant) * per_element)
+    amplitudes = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi, k))
+    z = amplitudes[:, None] * steering[None, :]
+    z = z + 0.01 * (rng.normal(size=(k, n_ant)) + 1j * rng.normal(size=(k, n_ant)))
+    return z, np.ones((k, n_ant), dtype=bool)
+
+
+class TestMaskedPseudospectrum:
+    def test_all_live_matches_full_array_path(self):
+        z, valid = source_snapshots(60.0)
+        full = music_pseudospectrum(
+            spatial_covariance(z, valid), SPACING, WAVELENGTH
+        )
+        masked = masked_pseudospectrum(
+            z, valid, np.ones(4, dtype=bool), SPACING, WAVELENGTH
+        )
+        assert np.array_equal(masked.spectrum, full.spectrum)
+        assert masked.n_sources == full.n_sources
+
+    def test_ragged_subarray_peak_near_truth(self):
+        theta = 75.0
+        z, valid = source_snapshots(theta)
+        live = np.array([True, True, False, True])
+        result = masked_pseudospectrum(
+            z, valid, live, SPACING, WAVELENGTH, n_sources=1
+        )
+        peak = float(result.angles_deg[np.argmax(result.spectrum)])
+        assert abs(peak - theta) <= 10.0
+
+    def test_uniform_subarray_recovers_truth_among_peaks(self):
+        # Survivors 0 and 2 form a uniform array at double spacing: the
+        # wider aperture aliases (grating lobes), but the true angle
+        # must still sit on one of the strongest peaks.
+        theta = 60.0
+        z, valid = source_snapshots(theta)
+        live = np.array([True, False, True, False])
+        result = masked_pseudospectrum(
+            z, valid, live, SPACING, WAVELENGTH, n_sources=1
+        )
+        peak_angles = [angle for angle, _power in result.peaks(max_peaks=3)]
+        assert any(abs(angle - theta) <= 10.0 for angle in peak_angles)
+
+    def test_fewer_than_two_live_ports_rejected(self):
+        z, valid = source_snapshots(50.0)
+        with pytest.raises(ValueError):
+            masked_pseudospectrum(
+                z, valid, np.array([False, False, True, False]), SPACING, WAVELENGTH
+            )
+
+
+class TestDegradedPeriodogram:
+    def test_dead_ports_zeroed_and_renormalised(self):
+        x = np.ones((3, 4), dtype=complex)
+        live = np.array([True, True, False, False])
+        out = spatial_periodogram(x, liveness=live)
+        # Rows become [1, 1, 0, 0]; |FFT|^2/N = [1, .5, 0, .5]; x N/live = x2.
+        assert np.allclose(out, [2.0, 1.0, 0.0, 1.0])
+
+    def test_all_live_mask_is_exact_noop(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 4)) + 1j * rng.normal(size=(5, 4))
+        plain = spatial_periodogram(x)
+        masked = spatial_periodogram(x, liveness=np.ones(4, dtype=bool))
+        assert np.array_equal(plain, masked)
+
+    def test_completeness_check_ignores_dead_columns(self):
+        x = np.ones((2, 4), dtype=complex)
+        valid = np.array(
+            [[True, True, False, False], [True, False, False, False]]
+        )
+        live = np.array([True, True, False, False])
+        # Row 0 is complete over the live ports; row 1 is not and drops.
+        out = spatial_periodogram(x, valid=valid, liveness=live)
+        assert np.allclose(out, [2.0, 1.0, 0.0, 1.0])
+
+    def test_no_live_ports_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_periodogram(
+                np.ones((2, 4), dtype=complex), liveness=np.zeros(4, dtype=bool)
+            )
+
+
+def tdm_log(dead_ports: tuple[int, ...] = ()) -> ReadLog:
+    """A perfectly scheduled 2-dwell TDM log, minus ``dead_ports``."""
+    meta = ReaderMeta(
+        n_antennas=4,
+        slot_s=0.025,
+        dwell_s=0.4,
+        spacing_m=SPACING,
+        frequencies_hz=np.linspace(902.75e6, 927.25e6, 50),
+        reference_channel=15,
+    )
+    rng = np.random.default_rng(3)
+    times, ants, chans = [], [], []
+    for rnd in range(8):  # 4 rounds per dwell, 2 dwells
+        for ant in range(4):
+            if ant in dead_ports:
+                continue
+            times.append(rnd * 0.1 + ant * 0.025 + 0.0125)
+            ants.append(ant)
+            chans.append(rnd // 4)
+    n = len(times)
+    chans = np.asarray(chans)
+    return ReadLog(
+        epcs=("T",),
+        tag_index=np.zeros(n, dtype=int),
+        antenna=np.asarray(ants),
+        channel=chans,
+        frequency_hz=meta.frequencies_hz[chans],
+        timestamp_s=np.asarray(times),
+        phase_rad=rng.uniform(0.0, 2.0 * np.pi, n),
+        rssi_dbm=np.full(n, -60.0),
+        meta=meta,
+    )
+
+
+class TestDegradedFrames:
+    def test_dead_port_log_keeps_feature_shapes(self):
+        log = tdm_log(dead_ports=(2,))
+        frames = build_spectrum_frames(log, log.phase_rad, n_frames=2)
+        assert frames.channels["pseudo"].shape == (2, 1, 180)
+        assert frames.channels["period"].shape == (2, 1, 4)
+        for arr in frames.channels.values():
+            assert np.isfinite(arr).all()
+        assert np.array_equal(
+            frames.meta["antenna_liveness"], [True, True, False, True]
+        )
+
+    def test_healthy_log_reports_all_ports_live(self):
+        log = tdm_log()
+        frames = build_spectrum_frames(log, log.phase_rad, n_frames=2)
+        assert frames.meta["antenna_liveness"].all()
+
+
+class TestCalibrationFallback:
+    def make_sparse_calibration(self) -> PhaseCalibrator:
+        """Bootstrap observing only channels 0 and 4 of a 5-channel plan."""
+        meta = ReaderMeta(
+            n_antennas=1,
+            slot_s=0.025,
+            dwell_s=0.4,
+            spacing_m=SPACING,
+            frequencies_hz=np.linspace(902e6, 906e6, 5),
+            reference_channel=2,
+        )
+        channel = np.array([0] * 6 + [4] * 6)
+        phase = np.array([0.3] * 6 + [1.0] * 6)
+        log = ReadLog(
+            epcs=("T",),
+            tag_index=np.zeros(12, dtype=int),
+            antenna=np.zeros(12, dtype=int),
+            channel=channel,
+            frequency_hz=meta.frequencies_hz[channel],
+            timestamp_s=np.linspace(0.0, 1.0, 12),
+            phase_rad=phase,
+            rssi_dbm=np.full(12, -60.0),
+            meta=meta,
+        )
+        return PhaseCalibrator.fit(log)
+
+    def test_nearest_channel_fallback_without_fit(self):
+        cal = self.make_sparse_calibration()
+        table = cal._tables[(0, 0)]
+        assert not table.has_fit  # 2 observed channels < fit threshold
+        freqs = cal.frequencies_hz
+        # Channel 1 is nearest to observed channel 0; channel 3 to 4.
+        assert table.offset_for(1, freqs) == pytest.approx(fold_double(0.3))
+        assert table.offset_for(3, freqs) == pytest.approx(fold_double(1.0))
+        # Directly observed channels are served as-is.
+        assert table.offset_for(0, freqs) == pytest.approx(fold_double(0.3))
+
+    def test_interpolated_channels_reported(self):
+        cal = self.make_sparse_calibration()
+        gaps = cal.interpolated_channels(0, 0)
+        assert set(gaps) == {1, 2, 3}
+        assert cal.coverage(0, 0) == pytest.approx(2.0 / 5.0)
+
+    def test_report_flags_reference_channel_after_gap_fault(self):
+        meta = ReaderMeta(
+            n_antennas=2,
+            slot_s=0.025,
+            dwell_s=0.4,
+            spacing_m=SPACING,
+            frequencies_hz=np.linspace(902.75e6, 927.25e6, 50),
+            reference_channel=15,
+        )
+        rng = np.random.default_rng(7)
+        n = 4000
+        channel = rng.integers(0, 50, n)
+        log = ReadLog(
+            epcs=("T",),
+            tag_index=np.zeros(n, dtype=int),
+            antenna=rng.integers(0, 2, n),
+            channel=channel,
+            frequency_hz=meta.frequencies_hz[channel],
+            timestamp_s=np.sort(rng.uniform(0.0, 20.0, n)),
+            phase_rad=rng.uniform(0.0, 2.0 * np.pi, n),
+            rssi_dbm=np.full(n, -60.0),
+            meta=meta,
+        )
+        gapped = apply_faults(log, [FaultSpec("calibration_gap", 0.4)], seed=0)
+        report = PhaseCalibrator.fit(gapped).interpolation_report()
+        assert report  # one entry per (tag, port)
+        for gaps in report.values():
+            assert meta.reference_channel in gaps

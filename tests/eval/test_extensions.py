@@ -43,9 +43,13 @@ class TestExperimentRegistry:
     def test_extensions_registered(self):
         from repro.eval import EXTENSIONS
 
-        assert {"ext-transfer", "ext-hub", "ext-augment", "ext-realtime"} == set(
-            EXTENSIONS
-        )
+        assert {
+            "ext-transfer",
+            "ext-hub",
+            "ext-augment",
+            "ext-realtime",
+            "ext-robustness",
+        } == set(EXTENSIONS)
 
     def test_drivers_are_callable_with_standard_signature(self):
         import inspect

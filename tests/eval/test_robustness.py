@@ -1,0 +1,132 @@
+"""Robustness sweep harness, exercised with a stub serving path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import (
+    ABSTAIN,
+    REASON_DEAD_PORTS,
+    REASON_TOO_FEW_READS,
+    WindowDecision,
+)
+from repro.data.generator import RawSample
+from repro.eval.robustness import RobustnessReport, robustness_sweep
+from repro.hardware import ReadLog, ReaderMeta
+
+KINDS = ("dropout", "dead_port", "calibration_gap")
+SEVERITIES = (0.0, 0.3, 0.9)
+MIN_READS = 60
+
+
+def make_log(n: int, seed: int) -> ReadLog:
+    meta = ReaderMeta(
+        n_antennas=4,
+        slot_s=0.025,
+        dwell_s=0.4,
+        spacing_m=0.04,
+        frequencies_hz=np.linspace(902.75e6, 927.25e6, 50),
+        reference_channel=15,
+    )
+    rng = np.random.default_rng(seed)
+    channel = rng.integers(0, 50, n)
+    return ReadLog(
+        epcs=("T",),
+        tag_index=np.zeros(n, dtype=int),
+        antenna=rng.integers(0, 4, n),
+        channel=channel,
+        frequency_hz=meta.frequencies_hz[channel],
+        timestamp_s=np.sort(rng.uniform(0.0, 6.0, n)),
+        phase_rad=rng.uniform(0.0, 2.0 * np.pi, n),
+        rssi_dbm=np.full(n, -60.0),
+        meta=meta,
+    )
+
+
+class StubIdentifier:
+    """One decision per log, driven only by read count and liveness."""
+
+    def __init__(self):
+        self.calibrator = None
+
+    def identify(self, log: ReadLog) -> list[WindowDecision]:
+        if log.n_reads == 0:
+            return []
+        if int(log.antenna_liveness().sum()) < 2:
+            return [
+                WindowDecision(
+                    0.0, 6.0, ABSTAIN, 0.0, log.n_reads, True, REASON_DEAD_PORTS
+                )
+            ]
+        if log.n_reads < MIN_READS:
+            return [
+                WindowDecision(
+                    0.0, 6.0, ABSTAIN, 0.0, log.n_reads, True,
+                    REASON_TOO_FEW_READS,
+                )
+            ]
+        return [WindowDecision(0.0, 6.0, "act", 0.9, log.n_reads)]
+
+
+@pytest.fixture()
+def report() -> RobustnessReport:
+    samples = [
+        RawSample(
+            label="act",
+            log=make_log(200, seed=i),
+            calibration_log=make_log(400, seed=100 + i),
+            n_frames=15,
+        )
+        for i in range(3)
+    ]
+    return robustness_sweep(
+        StubIdentifier(), samples, kinds=KINDS, severities=SEVERITIES, seed=0
+    )
+
+
+class TestRobustnessSweep:
+    def test_full_grid_covered(self, report):
+        assert len(report.cells) == len(KINDS) * len(SEVERITIES)
+        for kind in KINDS:
+            for severity in SEVERITIES:
+                cell = report.cell(kind, severity)
+                assert cell.n_windows == 3
+                assert 0.0 <= cell.abstain_rate <= 1.0
+
+    def test_unknown_cell_raises(self, report):
+        with pytest.raises(KeyError):
+            report.cell("dropout", 0.5)
+
+    def test_clean_baseline_shared_across_kinds(self, report):
+        for kind in KINDS:
+            cell = report.cell(kind, 0.0)
+            assert cell.accuracy == 1.0
+            assert cell.abstain_rate == 0.0
+
+    def test_heavy_dropout_abstains(self, report):
+        cell = report.cell("dropout", 0.9)  # ~81% loss: below MIN_READS
+        assert cell.abstain_rate == 1.0
+        assert np.isnan(cell.accuracy)
+
+    def test_heavy_dead_port_abstains(self, report):
+        cell = report.cell("dead_port", 0.9)  # one surviving port
+        assert cell.abstain_rate == 1.0
+
+    def test_mild_faults_still_decided(self, report):
+        assert report.cell("dropout", 0.3).abstain_rate == 0.0
+        assert report.cell("dead_port", 0.3).accuracy == 1.0
+
+    def test_calibration_gap_refits_calibrator(self, report):
+        # The runtime log stays clean, so decisions still land; the
+        # refitted calibrator must interpolate the blanked reference.
+        cell = report.cell("calibration_gap", 0.9)
+        assert cell.abstain_rate == 0.0
+        assert cell.accuracy == 1.0
+
+    def test_render_table(self, report):
+        table = report.render()
+        assert isinstance(table, str)
+        for kind in KINDS:
+            assert kind in table
+        assert "s=0.00" in table and "s=0.90" in table

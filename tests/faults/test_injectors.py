@@ -1,0 +1,165 @@
+"""Fault injectors: determinism, zero-severity identity, effect shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultSpec, apply_faults
+from repro.hardware import ReadLog, ReaderMeta
+
+N_CHANNELS = 50
+REFERENCE = 15
+
+
+def make_log(n: int = 600, seed: int = 0, n_antennas: int = 4) -> ReadLog:
+    meta = ReaderMeta(
+        n_antennas=n_antennas,
+        slot_s=0.025,
+        dwell_s=0.4,
+        spacing_m=0.04,
+        frequencies_hz=np.linspace(902.75e6, 927.25e6, N_CHANNELS),
+        reference_channel=REFERENCE,
+    )
+    rng = np.random.default_rng(seed)
+    channel = rng.integers(0, N_CHANNELS, n)
+    return ReadLog(
+        epcs=("A", "B", "C"),
+        tag_index=rng.integers(0, 3, n),
+        antenna=rng.integers(0, n_antennas, n),
+        channel=channel,
+        frequency_hz=meta.frequencies_hz[channel],
+        timestamp_s=np.sort(rng.uniform(0.0, 8.0, n)),
+        phase_rad=rng.uniform(0, 2 * np.pi, n),
+        rssi_dbm=rng.uniform(-80, -50, n),
+        meta=meta,
+    )
+
+
+def logs_equal(a: ReadLog, b: ReadLog) -> bool:
+    return (
+        a.epcs == b.epcs
+        and np.array_equal(a.tag_index, b.tag_index)
+        and np.array_equal(a.antenna, b.antenna)
+        and np.array_equal(a.channel, b.channel)
+        and np.array_equal(a.frequency_hz, b.frequency_hz)
+        and np.array_equal(a.timestamp_s, b.timestamp_s)
+        and np.array_equal(a.phase_rad, b.phase_rad)
+        and np.array_equal(a.rssi_dbm, b.rssi_dbm)
+    )
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor_strike", severity=0.5)
+
+    @pytest.mark.parametrize("severity", [-0.1, 1.1])
+    def test_severity_range(self, severity):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="dropout", severity=severity)
+
+    def test_magnitude_override_scales(self):
+        assert FaultSpec("dropout", 0.5, magnitude=0.4).scaled(0.9) == 0.2
+        assert FaultSpec("dropout", 0.5).scaled(0.9) == pytest.approx(0.45)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_same_spec_and_seed_identical(self, kind):
+        log = make_log()
+        spec = FaultSpec(kind=kind, severity=0.6)
+        assert logs_equal(
+            apply_faults(log, [spec], seed=7), apply_faults(log, [spec], seed=7)
+        )
+
+    def test_different_seed_differs(self):
+        log = make_log()
+        spec = FaultSpec(kind="dropout", severity=0.5)
+        a = apply_faults(log, [spec], seed=1)
+        b = apply_faults(log, [spec], seed=2)
+        assert not logs_equal(a, b)
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_zero_severity_is_identity(self, kind):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec(kind=kind, severity=0.0)], seed=3)
+        assert out is log  # bitwise-identical by construction
+
+    def test_scenario_composition(self):
+        log = make_log()
+        scenario = [
+            FaultSpec("dead_port", 0.4),
+            FaultSpec("dropout", 0.3),
+            FaultSpec("phase_noise", 0.5),
+        ]
+        out = apply_faults(log, scenario, seed=11)
+        assert out.n_reads < log.n_reads
+        assert logs_equal(out, apply_faults(log, scenario, seed=11))
+
+
+class TestEffects:
+    def test_dropout_removes_reads(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("dropout", 0.5)], seed=0)
+        # ~45% drop probability at severity 0.5.
+        assert 0.3 * log.n_reads < out.n_reads < 0.8 * log.n_reads
+
+    def test_burst_outage_leaves_contiguous_gap(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("burst_outage", 0.5)], seed=0)
+        assert out.n_reads < log.n_reads
+        # Every tag retains some reads outside its outage window.
+        for tag in range(out.n_tags):
+            assert out.for_tag(tag).n_reads > 0
+
+    def test_dead_port_silences_ports(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("dead_port", 0.5)], seed=0)
+        live = out.antenna_liveness()
+        assert live.sum() < log.meta.n_antennas
+        assert live.sum() >= 1
+
+    def test_dead_port_full_severity_keeps_one_port(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("dead_port", 1.0)], seed=0)
+        assert out.antenna_liveness().sum() == 1
+
+    def test_phase_flip_adds_pi(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("phase_flip", 1.0, magnitude=1.0)], seed=0)
+        delta = np.mod(out.phase_rad - log.phase_rad, 2 * np.pi)
+        assert np.allclose(delta, np.pi)
+
+    def test_phase_noise_perturbs_only_phase(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("phase_noise", 0.5)], seed=0)
+        assert not np.allclose(out.phase_rad, log.phase_rad)
+        assert np.array_equal(out.timestamp_s, log.timestamp_s)
+        assert np.array_equal(out.rssi_dbm, log.rssi_dbm)
+        assert (out.phase_rad >= 0).all() and (out.phase_rad < 2 * np.pi).all()
+
+    def test_rssi_attenuation_lowers_rssi(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("rssi_attenuation", 0.5)], seed=0)
+        assert (out.rssi_dbm < log.rssi_dbm).all()
+        assert (log.rssi_dbm - out.rssi_dbm).max() <= 10.0 + 1e-9
+
+    def test_time_jitter_bounded(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("time_jitter", 1.0)], seed=0)
+        delta = np.abs(out.timestamp_s - log.timestamp_s)
+        assert delta.max() <= log.meta.slot_s / 2 + 1e-12
+        assert delta.max() > 0
+
+    def test_ghost_reads_add_sorted_duplicates(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("ghost_reads", 0.8)], seed=0)
+        assert out.n_reads > log.n_reads
+        assert (np.diff(out.timestamp_s) >= 0).all()
+
+    def test_calibration_gap_blanks_reference_channel(self):
+        log = make_log()
+        out = apply_faults(log, [FaultSpec("calibration_gap", 0.3)], seed=0)
+        assert REFERENCE not in out.channel
+        assert out.n_reads > 0

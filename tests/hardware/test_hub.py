@@ -92,3 +92,50 @@ class TestMergeHubFeatures:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             merge_hub_features([])
+
+
+def synthetic_frames(value: float = 1.0, n_frames: int = 3) -> "FeatureFrames":
+    from repro.dsp.frames import FeatureFrames
+
+    return FeatureFrames(
+        channels={
+            "pseudo": np.full((n_frames, 2, 5), value),
+            "period": np.full((n_frames, 2, 4), value),
+        },
+        label="X",
+    )
+
+
+class TestMergeDegradation:
+    def test_dead_member_zero_filled(self):
+        merged = merge_hub_features([synthetic_frames(), None])
+        assert set(merged.channels) == {
+            "pseudo@0", "period@0", "pseudo@1", "period@1",
+        }
+        assert (merged.channels["pseudo@0"] == 1.0).all()
+        assert (merged.channels["pseudo@1"] == 0.0).all()
+        assert merged.channels["pseudo@1"].shape == (3, 2, 5)
+        assert merged.label == "X"
+
+    def test_all_members_dead_rejected(self):
+        with pytest.raises(ValueError, match="surviving"):
+            merge_hub_features([None, None])
+
+    def test_shape_mismatch_treated_as_dead(self):
+        truncated = synthetic_frames(value=2.0, n_frames=1)
+        merged = merge_hub_features([synthetic_frames(), truncated])
+        # The truncated session cannot be stacked; its view zero-fills.
+        assert (merged.channels["pseudo@1"] == 0.0).all()
+        assert merged.channels["pseudo@1"].shape == (3, 2, 5)
+
+    def test_with_liveness_channels(self):
+        merged = merge_hub_features(
+            [synthetic_frames(), None], with_liveness=True
+        )
+        assert (merged.channels["alive@0"] == 1.0).all()
+        assert (merged.channels["alive@1"] == 0.0).all()
+        assert merged.channels["alive@0"].shape == (3, 2, 1)
+
+    def test_liveness_off_by_default_preserves_channel_set(self):
+        merged = merge_hub_features([synthetic_frames()])
+        assert set(merged.channels) == {"pseudo@0", "period@0"}

@@ -76,6 +76,24 @@ class TestReadLog:
         for t in never_read:
             assert log.read_rate_hz(t) == 0.0
 
+    def test_select_rejects_non_boolean_mask(self):
+        log = make_log(10)
+        with pytest.raises(ValueError):
+            log.select(np.arange(10))
+
+    def test_select_rejects_wrong_length_mask(self):
+        log = make_log(10)
+        with pytest.raises(ValueError):
+            log.select(np.ones(9, dtype=bool))
+
+    def test_antenna_liveness(self):
+        log = make_log(50)
+        silenced = log.select(np.isin(log.antenna, [0, 2]))
+        assert np.array_equal(
+            silenced.antenna_liveness(), [True, False, True, False]
+        )
+        assert make_log(200).antenna_liveness().all()
+
 
 class TestConcatenate:
     def test_concatenation(self):
@@ -90,3 +108,33 @@ class TestConcatenate:
     def test_empty_list_rejected(self):
         with pytest.raises(ValueError):
             concatenate_logs([])
+
+    @staticmethod
+    def _with_meta(log: ReadLog, **meta_overrides) -> ReadLog:
+        from dataclasses import replace
+
+        return ReadLog(
+            epcs=log.epcs,
+            tag_index=log.tag_index,
+            antenna=log.antenna,
+            channel=log.channel,
+            frequency_hz=log.frequency_hz,
+            timestamp_s=log.timestamp_s,
+            phase_rad=log.phase_rad,
+            rssi_dbm=log.rssi_dbm,
+            meta=replace(log.meta, **meta_overrides),
+        )
+
+    @pytest.mark.parametrize("timing", [{"dwell_s": 0.3}, {"slot_s": 0.05}])
+    def test_mismatched_timing_rejected(self, timing):
+        a = make_log(5)
+        b = self._with_meta(make_log(5, t0=2.0), **timing)
+        with pytest.raises(ValueError, match="timing"):
+            concatenate_logs([a, b])
+
+    def test_mismatched_channel_table_rejected(self):
+        a = make_log(5)
+        b = make_log(5, t0=2.0)
+        b = self._with_meta(b, frequencies_hz=b.meta.frequencies_hz + 0.5e6)
+        with pytest.raises(ValueError, match="channel tables"):
+            concatenate_logs([a, b])

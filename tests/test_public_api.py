@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.hardware",
     "repro.motion",
     "repro.dsp",
+    "repro.faults",
     "repro.nn",
     "repro.ml",
     "repro.core",
@@ -57,5 +58,7 @@ def test_no_circular_import_order_sensitivity():
         "repro.core.streaming",
         "repro.hardware.trace_io",
         "repro.core.ensemble",
+        "repro.faults.injectors",
+        "repro.eval.robustness",
     ):
         importlib.import_module(leaf)
