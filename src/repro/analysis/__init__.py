@@ -1,0 +1,27 @@
+"""Correctness tooling: project-specific lint rules + runtime sanitizer.
+
+Static side: ``python -m repro.analysis.lint src`` runs the RPR rule
+set (seeded randomness, forward/backward pairing, export hygiene,
+float64 discipline, shape-contract docstrings) and fails CI on any
+finding.  Runtime side: :func:`repro.analysis.sanitize.anomaly_detection`
+arms NaN/dtype/gradient/shape tripwires across the nn and DSP stacks.
+
+The lint driver (:mod:`repro.analysis.lint`) is deliberately *not*
+imported here: it is the ``python -m`` entry point, and importing it
+from the package ``__init__`` would make runpy warn about the module
+already being in ``sys.modules``.  Import ``repro.analysis.lint``
+directly for the programmatic API.
+"""
+
+from repro.analysis.rules import RULES, FileContext, Finding, LintRule, register_rule
+from repro.analysis.sanitize import AnomalyError, anomaly_detection
+
+__all__ = [
+    "AnomalyError",
+    "FileContext",
+    "Finding",
+    "LintRule",
+    "RULES",
+    "anomaly_detection",
+    "register_rule",
+]

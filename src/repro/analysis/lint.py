@@ -1,0 +1,237 @@
+"""Static analyzer CLI: ``python -m repro.analysis.lint <paths>``.
+
+Runs every registered :mod:`repro.analysis.rules` rule over the given
+files or directory trees, prints findings as text or JSON, and exits
+non-zero when anything is found — the CI contract.
+
+Suppressions are comment-driven:
+
+* a trailing ``# reprolint: disable=RPR001`` suppresses those codes on
+  that line only;
+* a standalone ``# reprolint: disable=RPR001,RPR006`` comment line
+  suppresses the codes for the whole file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.rules import RULES, Finding, LintRule, FileContext
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "main"]
+
+PARSE_ERROR_CODE = "RPR000"
+"""Pseudo-code attached to files that fail to parse."""
+
+_SUPPRESS_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class _Suppressions:
+    """Parsed suppression comments of one file."""
+
+    file_wide: frozenset[str]
+    by_line: dict[int, frozenset[str]]
+
+    def allows(self, finding: Finding) -> bool:
+        if finding.code in self.file_wide:
+            return False
+        return finding.code not in self.by_line.get(finding.line, frozenset())
+
+
+def _parse_suppressions(source: str) -> _Suppressions:
+    file_wide: set[str] = set()
+    by_line: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return _Suppressions(frozenset(), {})
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_PATTERN.search(tok.string)
+        if not match:
+            continue
+        codes = frozenset(c.strip() for c in match.group("codes").split(","))
+        row, col = tok.start
+        standalone = tok.line[:col].strip() == ""
+        if standalone:
+            file_wide |= codes
+        else:
+            by_line[row] = by_line.get(row, frozenset()) | codes
+    return _Suppressions(frozenset(file_wide), by_line)
+
+
+def _select_rules(select: Sequence[str] | None) -> list[LintRule]:
+    if select is None:
+        return [RULES[code] for code in sorted(RULES)]
+    unknown = sorted(set(select) - set(RULES))
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
+    return [RULES[code] for code in sorted(set(select))]
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint one source string.
+
+    Args:
+        source: Python source text.
+        path: path to report in findings.
+        select: rule codes to run (default: all registered).
+
+    Returns:
+        Surviving (non-suppressed) findings, ordered by position.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; nothing else was checked",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    suppressions = _parse_suppressions(source)
+    findings = [
+        f
+        for rule in _select_rules(select)
+        for f in rule.check(ctx)
+        if suppressions.allows(f)
+    ]
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def _iter_files(paths: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    seen: set[Path] = set()
+    unique = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    n_files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "ok": self.ok,
+            "n_files": self.n_files,
+            "n_findings": len(self.findings),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def lint_paths(
+    paths: Iterable[str], select: Sequence[str] | None = None
+) -> LintReport:
+    """Lint files and directory trees.
+
+    Args:
+        paths: files or directories (searched recursively for ``.py``).
+        select: rule codes to run (default: all registered).
+
+    Returns:
+        A :class:`LintReport` with every surviving finding.
+    """
+    files = _iter_files(paths)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(
+            lint_source(f.read_text(encoding="utf-8"), path=str(f), select=select)
+        )
+    return LintReport(findings=findings, n_files=len(files))
+
+
+def _format_text(report: LintReport, stream: io.TextIOBase) -> None:
+    for f in report.findings:
+        stream.write(f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}\n")
+        stream.write(f"    hint: {f.hint}\n")
+    noun = "file" if report.n_files == 1 else "files"
+    if report.ok:
+        stream.write(f"reprolint: {report.n_files} {noun} checked, no findings\n")
+    else:
+        stream.write(
+            f"reprolint: {report.n_files} {noun} checked, "
+            f"{len(report.findings)} finding(s)\n"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="repro-specific static analysis (RPR rules)",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            sys.stdout.write(f"{code} {rule.name}: {rule.description}\n")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis.lint src)")
+
+    select = args.select.split(",") if args.select else None
+    try:
+        report = lint_paths(args.paths, select=select)
+    except KeyError as exc:
+        parser.error(str(exc))
+    if args.format == "json":
+        sys.stdout.write(json.dumps(report.as_dict(), indent=2) + "\n")
+    else:
+        _format_text(report, sys.stdout)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

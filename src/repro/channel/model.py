@@ -93,7 +93,7 @@ class MultipathChannel:
 
     room: Room
     params: ChannelParams = field(default_factory=ChannelParams)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     max_reflection_order: int = 1
 
     def __post_init__(self) -> None:

@@ -87,8 +87,12 @@ class ActivityDataset:
     def split(
         self, test_fraction: float = 0.2, rng: np.random.Generator | None = None
     ) -> tuple["ActivityDataset", "ActivityDataset"]:
-        """Stratified train/test split (the paper's 80/20)."""
-        rng = rng or np.random.default_rng()
+        """Stratified train/test split (the paper's 80/20).
+
+        Deterministic by default (seed 0): pass a seeded generator for
+        a different, still-reproducible shuffle.
+        """
+        rng = rng or np.random.default_rng(0)
         labels = np.asarray(self.labels)
         test_idx: list[int] = []
         for cls in sorted(set(self.labels)):

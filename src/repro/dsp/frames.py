@@ -36,6 +36,10 @@ def normalize_pseudospectrum(spectrum: np.ndarray) -> np.ndarray:
     power meaning (that is the periodogram's job), so each spectrum is
     expressed in dB relative to its own peak and clipped at -40 dB,
     then mapped to ``[0, 1]``.
+
+    Returns:
+        The compressed spectrum, shape: ``(A,)`` matching the input
+        grid.
     """
     s = np.asarray(spectrum, dtype=np.float64)
     peak = max(float(s.max()), 1e-300)
@@ -129,8 +133,11 @@ def build_spectrum_frames(
         label: ground-truth activity class to attach.
 
     Returns:
-        The assembled :class:`FeatureFrames`; ``meta["antenna_liveness"]``
-        records the port mask the features were computed under.
+        The assembled :class:`FeatureFrames`: channel ``"pseudo"`` has
+        shape: ``(F, n_tags, 180)`` and channel ``"period"`` has
+        shape: ``(F, n_tags, N)`` for ``N`` antennas;
+        ``meta["antenna_liveness"]`` records the port mask the features
+        were computed under.
     """
     grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
     snapshot_sets = tag_snapshot_set(log, psi, n_frames)

@@ -143,7 +143,8 @@ def music_pseudospectrum(
             contiguous ULA.
 
     Returns:
-        A :class:`MusicResult`.
+        A :class:`MusicResult` whose spectrum has shape: ``(A,)`` for
+        ``A`` grid angles (paper default 180).
 
     Raises:
         ValueError: for a non-square covariance.
@@ -205,6 +206,10 @@ def masked_pseudospectrum(
         angles_deg: evaluation grid.
         n_sources: forced signal-subspace dimension.
         phase_multiplier: see :func:`steering_matrix`.
+
+    Returns:
+        A :class:`MusicResult` whose spectrum has shape: ``(A,)`` for
+        ``A`` grid angles, regardless of how many ports survive.
 
     Raises:
         ValueError: when fewer than two ports are live.

@@ -25,7 +25,7 @@ def periodogram_psd(y: np.ndarray) -> np.ndarray:
         y: ``(N,)`` complex or real sequence.
 
     Returns:
-        ``(N,)`` non-negative power densities.
+        Non-negative power densities, shape: ``(N,)``.
 
     Raises:
         ValueError: on an empty sequence.
@@ -57,7 +57,7 @@ def spatial_periodogram(
             exactly.
 
     Returns:
-        ``(N,)`` mean power per spatial-frequency bin.
+        Mean power per spatial-frequency bin, shape: ``(N,)``.
 
     Raises:
         ValueError: when nothing is observed, or no port is live.

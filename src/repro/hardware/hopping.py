@@ -42,7 +42,7 @@ class FrequencyHopper:
     base_mhz: float = DEFAULT_BASE_MHZ
     step_mhz: float = DEFAULT_STEP_MHZ
     n_channels: int = DEFAULT_N_CHANNELS
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
     def __post_init__(self) -> None:
         if self.n_channels < 1:

@@ -107,7 +107,14 @@ def load_csv(path: str | Path | io.TextIOBase) -> ReadLog:
             )
         if header is None:
             raise ValueError("no header line found")
-        required = {"n_antennas", "slot_s", "dwell_s", "spacing_m", "reference_channel", "frequencies_hz"}
+        required = {
+            "n_antennas",
+            "slot_s",
+            "dwell_s",
+            "spacing_m",
+            "reference_channel",
+            "frequencies_hz",
+        }
         missing = required - set(meta_fields)
         if missing:
             raise ValueError(f"missing metadata comments: {sorted(missing)}")

@@ -37,7 +37,7 @@ def train_test_split(
     x = np.asarray(x)
     if len(x) != len(y):
         raise ValueError("x and y must align")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     test_idx: list[int] = []
     if stratify:
         for cls in sorted(set(y.tolist())):
@@ -63,7 +63,7 @@ def stratified_kfold(
         ValueError: when ``n_splits`` exceeds the smallest class size.
     """
     y = np.asarray(y)
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     if n_splits < 2:
         raise ValueError("need at least 2 splits")
     folds: list[list[int]] = [[] for _ in range(n_splits)]

@@ -45,17 +45,29 @@ class ActivityScenario:
 SCENARIOS: dict[str, ActivityScenario] = {
     s.label: s
     for s in (
-        ActivityScenario("A01", "P1 waves a hand, P2 stands still", ("wave_hand", "stand_still")),
-        ActivityScenario("A02", "P1 pushes forward repeatedly, P2 stands still", ("push_forward", "stand_still")),
+        ActivityScenario(
+            "A01", "P1 waves a hand, P2 stands still", ("wave_hand", "stand_still")
+        ),
+        ActivityScenario(
+            "A02",
+            "P1 pushes forward repeatedly, P2 stands still",
+            ("push_forward", "stand_still"),
+        ),
         ActivityScenario("A03", "P1 walks a line, P2 stands still", ("walk_line", "stand_still")),
         ActivityScenario("A04", "P1 squats, P2 stands still", ("squat", "stand_still")),
         ActivityScenario("A05", "both people wave hands", ("wave_hand", "wave_hand")),
         ActivityScenario("A06", "both people walk lines", ("walk_line", "walk_line")),
-        ActivityScenario("A07", "P1 claps, P2 turns around in place", ("clap_hands", "turn_around")),
-        ActivityScenario("A08", "P1 picks objects up, P2 walks a line", ("pick_up", "walk_line")),
+        ActivityScenario(
+            "A07", "P1 claps, P2 turns around in place", ("clap_hands", "turn_around")
+        ),
+        ActivityScenario(
+            "A08", "P1 picks objects up, P2 walks a line", ("pick_up", "walk_line")
+        ),
         ActivityScenario("A09", "P1 jumps, P2 waves a hand", ("jump", "wave_hand")),
         ActivityScenario("A10", "P1 sits down, P2 pushes forward", ("sit_down", "push_forward")),
-        ActivityScenario("A11", "P1 stretches arms, P2 walks a circle", ("stretch_arms", "walk_circle")),
+        ActivityScenario(
+            "A11", "P1 stretches arms, P2 walks a circle", ("stretch_arms", "walk_circle")
+        ),
         ActivityScenario("A12", "P1 turns around, P2 squats", ("turn_around", "squat")),
     )
 }

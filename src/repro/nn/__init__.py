@@ -5,7 +5,7 @@ from repro.nn.gradcheck import check_module_gradients, numerical_gradient
 from repro.nn.init import glorot_uniform, he_uniform, orthogonal
 from repro.nn.layers import Dense, Dropout, Flatten, ReLU, Tanh
 from repro.nn.losses import log_softmax, mse_loss, softmax, softmax_cross_entropy
-from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.module import DEFAULT_DTYPE, Module, Parameter, Sequential
 from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.nn.recurrent import LSTM, LastStep
 
@@ -13,6 +13,7 @@ __all__ = [
     "SGD",
     "Adam",
     "Conv1d",
+    "DEFAULT_DTYPE",
     "Dense",
     "Dropout",
     "Flatten",

@@ -6,7 +6,10 @@ import numpy as np
 
 
 def glorot_uniform(
-    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None, fan_out: int | None = None
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    fan_in: int | None = None,
+    fan_out: int | None = None,
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialisation.
 
@@ -24,7 +27,9 @@ def glorot_uniform(
     return rng.uniform(-limit, limit, shape)
 
 
-def he_uniform(shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None) -> np.ndarray:
+def he_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None
+) -> np.ndarray:
     """He uniform initialisation (for ReLU stacks)."""
     if fan_in is None:
         fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]

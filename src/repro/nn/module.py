@@ -12,12 +12,44 @@ from __future__ import annotations
 
 import numpy as np
 
+DEFAULT_DTYPE = np.dtype(np.float64)
+"""The library-wide parameter/activation dtype.
+
+Single source of truth for the numeric standard: ``Parameter`` casts to
+it by default and the runtime sanitizer
+(:func:`repro.analysis.sanitize.anomaly_detection`) treats any drift
+away from it as an anomaly.
+"""
+
 
 class Parameter:
-    """A trainable tensor with an accumulated gradient."""
+    """A trainable tensor with an accumulated gradient.
 
-    def __init__(self, value: np.ndarray, name: str = "") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    Args:
+        value: initial value; cast to ``dtype``.
+        name: diagnostic name (surfaces in gradcheck and sanitizer
+            reports).
+        dtype: target floating dtype.  The historical behaviour was a
+            silent upcast to float64; the cast is now an explicit,
+            validated argument so precision policy lives in one place.
+
+    Raises:
+        TypeError: when ``dtype`` is not a floating dtype.
+    """
+
+    def __init__(
+        self,
+        value: np.ndarray,
+        name: str = "",
+        dtype: np.dtype | type = DEFAULT_DTYPE,
+    ) -> None:
+        dt = np.dtype(dtype)
+        if dt.kind != "f":
+            raise TypeError(
+                f"Parameter dtype must be a floating dtype, got {dt} "
+                f"(the library standard is {DEFAULT_DTYPE})"
+            )
+        self.value = np.asarray(value, dtype=dt)
         self.grad = np.zeros_like(self.value)
         self.name = name
 

@@ -42,7 +42,8 @@ class TestRssiMapping:
 
 class TestGates:
     def test_harvest_threshold(self):
-        g = np.array([PARAMS.harvest_amplitude_threshold * 2, PARAMS.harvest_amplitude_threshold / 2])
+        threshold = PARAMS.harvest_amplitude_threshold
+        g = np.array([threshold * 2, threshold / 2])
         mask = harvest_mask(g.astype(complex), PARAMS)
         assert mask.tolist() == [True, False]
 

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core import M2AIConfig
-from repro.data import full_generation, full_training, quick_generation, quick_training, tiny_generation
+from repro.data import (
+    full_generation,
+    full_training,
+    quick_generation,
+    quick_training,
+    tiny_generation,
+)
 
 
 class TestM2AIConfig:

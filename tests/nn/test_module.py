@@ -135,3 +135,25 @@ class TestSequentialTraining:
             net.backward(grad)
             opt.step()
         assert float((net(x).argmax(1) == y).mean()) > 0.95
+
+
+class TestParameterDtype:
+    """The dtype is an explicit, validated argument (no silent upcast)."""
+
+    def test_default_is_float64(self):
+        from repro.nn.module import DEFAULT_DTYPE
+
+        p = Parameter(np.zeros(3, dtype="float32"))
+        assert p.value.dtype == DEFAULT_DTYPE == np.float64
+        assert p.grad.dtype == DEFAULT_DTYPE
+
+    def test_explicit_narrow_dtype_honoured(self):
+        p = Parameter(np.zeros(3), dtype=np.float32)
+        assert p.value.dtype == np.float32
+        assert p.grad.dtype == np.float32
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Parameter(np.zeros(3), dtype=np.int64)
+        with pytest.raises(TypeError):
+            Parameter(np.zeros(3), dtype=np.complex128)

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.motion",
     "repro.dsp",
     "repro.faults",
+    "repro.analysis",
     "repro.nn",
     "repro.ml",
     "repro.core",
