@@ -10,10 +10,20 @@ it can and emits explicit, reasoned abstentions when it cannot.
 Usage::
 
     python examples/robustness_streaming_demo.py
+    python examples/robustness_streaming_demo.py --trace   # + span tree dump
+
+With ``--trace`` the observability layer (`repro.obs`) is armed for the
+serving phase: after the fault scenarios run, the example prints the
+span tree of the last streaming call (per-window timing down to the
+MUSIC/periodogram kernels) and the accumulated counters in Prometheus
+text format.
 """
 
 from __future__ import annotations
 
+import argparse
+
+from repro import obs
 from repro.core import M2AIConfig, M2AIPipeline
 from repro.core.streaming import StreamingIdentifier
 from repro.data import GenerationConfig, SyntheticDatasetGenerator
@@ -32,7 +42,15 @@ SCENARIOS = (
 )
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="arm repro.obs for the serving phase and dump the span tree",
+    )
+    args = parser.parse_args(argv)
+
     config = GenerationConfig(
         scenario_labels=ACTIVITIES,
         samples_per_class=8,
@@ -57,6 +75,9 @@ def main() -> None:
         pipeline, window_s=raw[0].n_frames * dwell, min_reads=32
     )
 
+    if args.trace:
+        obs.enable()  # arm after training so the dump covers serving only
+
     print("\nServing held-out recordings under injected faults:")
     for name, specs in SCENARIOS:
         print(f"\n  -- {name} --")
@@ -71,6 +92,14 @@ def main() -> None:
                     status = "ok " if d.label == sample.label else "MISS"
                     print(f"    truth={sample.label}  predicted={d.label} "
                           f"conf={d.confidence:.2f}  {status}")
+
+    if args.trace:
+        roots = obs.get_collector().drain()
+        print("\nSpan tree of the last streaming call (wall/CPU per stage):")
+        print(obs.render_span_tree(roots[-1:]))
+        print("\nAccumulated metrics (Prometheus text format):")
+        print(obs.get_registry().to_prometheus(), end="")
+        obs.disable()
 
     print("\nFull severity sweep (accuracy over decided windows / abstain):")
     report = robustness_sweep(

@@ -1,0 +1,166 @@
+"""Generate docs/API.md from the repro package's public surface.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_api_docs.py           # (re)write docs/API.md
+    PYTHONPATH=src python scripts/gen_api_docs.py --check   # fail if stale (CI)
+
+Walks every ``repro.*`` module that declares ``__all__``, renders each
+exported class/function as its signature plus the first paragraph of
+its docstring, and writes the result to ``docs/API.md``.  The file is
+committed; CI runs ``--check`` so the reference can never drift from
+the code it documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+OUT_PATH = REPO / "docs" / "API.md"
+
+HEADER = """\
+# API reference
+
+Public API of the `repro` package: every module that declares
+`__all__`, with each export's signature and summary.
+
+**Generated file — do not edit by hand.**  Regenerate with
+`PYTHONPATH=src python scripts/gen_api_docs.py`; CI runs the same
+script with `--check` and fails when this file is stale.
+"""
+
+
+def first_paragraph(doc: str | None) -> str:
+    """First blank-line-delimited paragraph of a docstring, unwrapped."""
+    if not doc:
+        return "*(no docstring)*"
+    para = inspect.cleandoc(doc).split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in para.splitlines())
+
+
+def signature_of(obj: object, name: str) -> str:
+    """Best-effort rendered signature for a class or function."""
+    try:
+        if inspect.isclass(obj):
+            sig = inspect.signature(obj.__init__)
+            params = list(sig.parameters.values())[1:]  # drop self
+            sig = sig.replace(parameters=params, return_annotation=inspect.Signature.empty)
+        else:
+            sig = inspect.signature(obj)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return name
+    text = f"{name}{sig}"
+    # Long signatures wrap poorly in a code span; clip to keep rows scannable.
+    if len(text) > 110:
+        text = text[:107] + "..."
+    return text
+
+
+def iter_public_modules() -> list[str]:
+    """Dotted names of every repro module declaring ``__all__``, sorted."""
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    keep = []
+    for name in sorted(names):
+        module = importlib.import_module(name)
+        if getattr(module, "__all__", None):
+            keep.append(name)
+    return keep
+
+
+def render_module(name: str) -> list[str]:
+    """Markdown section for one module's ``__all__`` exports."""
+    module = importlib.import_module(name)
+    lines = [f"## `{name}`", ""]
+    summary = first_paragraph(module.__doc__)
+    if summary != "*(no docstring)*":
+        lines += [summary, ""]
+    for export in module.__all__:
+        obj = getattr(module, export)
+        if inspect.ismodule(obj):
+            lines.append(f"- `{export}` — module (see `{obj.__name__}` below)")
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            kind = "class" if inspect.isclass(obj) else "def"
+            lines.append(f"- `{kind} {signature_of(obj, export)}`")
+            lines.append(f"  — {first_paragraph(inspect.getdoc(obj))}")
+        else:
+            lines.append(f"- `{export}` — constant ({type(obj).__name__})")
+            doc = _constant_doc(module, export)
+            if doc:
+                lines.append(f"  — {doc}")
+    lines.append("")
+    return lines
+
+
+def _constant_doc(module: object, export: str) -> str | None:
+    """The PEP 258 attribute docstring following ``export = ...``, if any."""
+    import ast
+
+    try:
+        source = inspect.getsource(module)  # type: ignore[arg-type]
+    except (OSError, TypeError):
+        return None
+    tree = ast.parse(source)
+    body = tree.body
+    for i, node in enumerate(body[:-1]):
+        is_target = isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == export for t in node.targets
+        )
+        nxt = body[i + 1]
+        if (
+            is_target
+            and isinstance(nxt, ast.Expr)
+            and isinstance(nxt.value, ast.Constant)
+            and isinstance(nxt.value.value, str)
+        ):
+            return first_paragraph(nxt.value.value)
+    return None
+
+
+def generate() -> str:
+    """Render the full API reference document."""
+    lines = [HEADER]
+    for name in iter_public_modules():
+        lines.extend(render_module(name))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if docs/API.md differs from the generated content",
+    )
+    args = parser.parse_args(argv)
+
+    content = generate()
+    if args.check:
+        on_disk = OUT_PATH.read_text() if OUT_PATH.exists() else ""
+        if on_disk != content:
+            sys.stderr.write(
+                "docs/API.md is stale; regenerate with "
+                "`PYTHONPATH=src python scripts/gen_api_docs.py`\n"
+            )
+            return 1
+        print(f"{OUT_PATH.relative_to(REPO)} is up to date")
+        return 0
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(content)
+    print(f"wrote {OUT_PATH.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,6 +146,7 @@ class LintReport:
 
     @property
     def ok(self) -> bool:
+        """True when no findings survived."""
         return not self.findings
 
     def as_dict(self) -> dict[str, object]:

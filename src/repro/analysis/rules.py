@@ -194,6 +194,7 @@ class LegacyRandomRule(LintRule):
     hint = "seed explicitly: np.random.default_rng(<seed>) or accept a Generator argument"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         called_with_args: set[int] = set()
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call) and (node.args or node.keywords):
@@ -234,6 +235,7 @@ class ForwardBackwardPairRule(LintRule):
     hint = "implement the missing half (or inherit both from the parent layer)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -278,6 +280,7 @@ class MutableDefaultRule(LintRule):
         return False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 continue
@@ -308,6 +311,7 @@ class SwallowedExceptionRule(LintRule):
     hint = "catch a specific exception and handle or re-raise it; never pass silently"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -364,6 +368,7 @@ class AllExportsRule(LintRule):
         return names
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         if not ctx.path.endswith("__init__.py"):
             return
         all_node: ast.Assign | None = None
@@ -425,6 +430,7 @@ class NarrowFloatRule(LintRule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Constant) and node.value in self._NARROW_STRINGS:
                 yield self.finding(
@@ -456,6 +462,7 @@ class NoPrintRule(LintRule):
     _ALLOWED_PARTS = frozenset({"scripts", "examples", "benchmarks"})
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         parts = set(re.split(r"[\\/]", ctx.path))
         if parts & self._ALLOWED_PARTS:
             return
@@ -491,6 +498,7 @@ class ShapeContractRule(LintRule):
     _TAG_PATTERN = re.compile(r"shape:\s*`{0,2}\(")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -503,3 +511,54 @@ class ShapeContractRule(LintRule):
                     node,
                     f"{node.name}() produces spectrum data but documents no shape: (...) tag",
                 )
+
+
+@register_rule
+class PublicDocstringRule(LintRule):
+    """RPR009: every public function and class carries a docstring.
+
+    ``scripts/gen_api_docs.py`` renders ``docs/API.md`` straight from
+    docstrings, so an undocumented public name is a hole in the
+    generated reference.  Private names (leading underscore, which
+    covers dunders) and definitions nested inside function bodies are
+    exempt; property setters/deleters inherit the getter's doc.
+    """
+
+    code = "RPR009"
+    name = "public-docstring"
+    description = "public module-level and class-level functions/classes need docstrings"
+    hint = "add a docstring (summary line at minimum); docs/API.md is generated from it"
+
+    _EXEMPT_PARTS = frozenset({"tests", "scripts", "examples", "benchmarks"})
+    _EXEMPT_DECORATORS = frozenset({"setter", "deleter"})
+
+    def _is_exempt_accessor(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for dec in node.decorator_list:
+            if isinstance(dec, ast.Attribute) and dec.attr in self._EXEMPT_DECORATORS:
+                return True
+        return False
+
+    def _check_body(self, ctx: FileContext, body: list[ast.stmt]) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        ctx, node, f"public class {node.name} has no docstring"
+                    )
+                yield from self._check_body(ctx, node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_") or self._is_exempt_accessor(node):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        ctx, node, f"public function {node.name}() has no docstring"
+                    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        parts = set(re.split(r"[\\/]", ctx.path))
+        if parts & self._EXEMPT_PARTS:
+            return
+        yield from self._check_body(ctx, ctx.tree.body)

@@ -57,6 +57,7 @@ class BodyTrack:
 
     @property
     def steps(self) -> int:
+        """Number of sampled positions in the track."""
         return self.positions.shape[0]
 
 

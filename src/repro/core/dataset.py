@@ -39,6 +39,7 @@ class ActivityDataset:
 
     @property
     def classes(self) -> list[str]:
+        """Sorted distinct labels."""
         return sorted(set(self.labels))
 
     @property
@@ -117,6 +118,7 @@ class ChannelScaler:
         self._scalers: dict[str, StandardScaler] = {}
 
     def fit(self, channels: dict[str, np.ndarray]) -> "ChannelScaler":
+        """Fit one scaler per channel; returns ``self``."""
         for name, arr in channels.items():
             scaler = StandardScaler()
             scaler.fit(arr.reshape(-1, arr.shape[-1]))
@@ -124,6 +126,7 @@ class ChannelScaler:
         return self
 
     def transform(self, channels: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Standardise each channel with its fitted scaler."""
         if not self._scalers:
             raise RuntimeError("scaler not fitted")
         out = {}
@@ -135,4 +138,5 @@ class ChannelScaler:
         return out
 
     def fit_transform(self, channels: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Fit and transform in one call."""
         return self.fit(channels).transform(channels)

@@ -53,6 +53,7 @@ class M2AIEnsemble:
 
     @property
     def classes(self) -> np.ndarray:
+        """Class labels of the fitted members."""
         if not self.members:
             raise RuntimeError("ensemble not fitted")
         return self.members[0].classes

@@ -21,6 +21,7 @@ from repro.nn.conv import Conv1d, MaxPool1d
 from repro.nn.layers import Dense, Dropout, Flatten, ReLU
 from repro.nn.module import Module, Sequential
 from repro.nn.recurrent import LSTM
+from repro.obs.tracing import span
 
 MODEL_MODES = ("cnn_lstm", "cnn", "lstm")
 
@@ -67,9 +68,11 @@ class ConvBranch(Module):
         self.net = Sequential(*layers)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         return self.net.forward(x, training=training)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         return self.net.backward(grad)
 
 
@@ -86,9 +89,11 @@ class DenseBranch(Module):
         )
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         return self.net.forward(x, training=training)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         return self.net.backward(grad)
 
 
@@ -104,9 +109,11 @@ class LinearBranch(Module):
         )
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         return self.net.forward(x, training=training)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         return self.net.backward(grad)
 
 
@@ -191,50 +198,52 @@ class M2AINet(Module):
             raise ValueError(f"missing input channels: {missing}")
         first = inputs[self.channel_names[0]]
         batch, frames = first.shape[0], first.shape[1]
-        feats = []
-        for name, branch in zip(self.channel_names, self.branches):
-            x = inputs[name]
-            if x.shape[:2] != (batch, frames):
-                raise ValueError("channels disagree on (batch, frames)")
-            flat = x.reshape(batch * frames, *x.shape[2:])
-            feats.append(branch.forward(flat, training=training))
-        merged = self.merge.forward(np.concatenate(feats, axis=1), training=training)
-        seq = merged.reshape(batch, frames, -1)
-        self._batch_frames = (batch, frames)
+        with span("nn.forward", batch=batch, frames=frames):
+            feats = []
+            for name, branch in zip(self.channel_names, self.branches):
+                x = inputs[name]
+                if x.shape[:2] != (batch, frames):
+                    raise ValueError("channels disagree on (batch, frames)")
+                flat = x.reshape(batch * frames, *x.shape[2:])
+                feats.append(branch.forward(flat, training=training))
+            merged = self.merge.forward(np.concatenate(feats, axis=1), training=training)
+            seq = merged.reshape(batch, frames, -1)
+            self._batch_frames = (batch, frames)
 
-        if self.mode == "cnn":
-            pooled = seq.mean(axis=1)
-            logits = self.head.forward(pooled, training=training)
-            return logits[:, None, :]
-        hidden = seq
-        for lstm in self.lstms:
-            hidden = lstm.forward(hidden, training=training)
-        return self.head.forward(hidden, training=training)
+            if self.mode == "cnn":
+                pooled = seq.mean(axis=1)
+                logits = self.head.forward(pooled, training=training)
+                return logits[:, None, :]
+            hidden = seq
+            for lstm in self.lstms:
+                hidden = lstm.forward(hidden, training=training)
+            return self.head.forward(hidden, training=training)
 
     def backward(self, grad: np.ndarray) -> dict[str, np.ndarray]:
         """Backprop; returns per-channel input gradients."""
         if self._batch_frames is None:
             raise RuntimeError("backward before forward")
         batch, frames = self._batch_frames
-        if self.mode == "cnn":
-            dpooled = self.head.backward(grad[:, 0, :])
-            dseq = np.broadcast_to(
-                dpooled[:, None, :] / frames, (batch, frames, dpooled.shape[-1])
-            ).copy()
-        else:
-            dseq = self.head.backward(grad)
-            for lstm in reversed(self.lstms):
-                dseq = lstm.backward(dseq)
-        dmerged = self.merge.backward(dseq.reshape(batch * frames, -1))
-        out: dict[str, np.ndarray] = {}
-        offset = 0
-        for name, branch in zip(self.channel_names, self.branches):
-            width = self.cfg.branch_dim
-            dbranch = branch.backward(dmerged[:, offset : offset + width])
-            offset += width
-            n_tags, dim = self.channel_shapes[name]
-            out[name] = dbranch.reshape(batch, frames, n_tags, dim)
-        return out
+        with span("nn.backward", batch=batch, frames=frames):
+            if self.mode == "cnn":
+                dpooled = self.head.backward(grad[:, 0, :])
+                dseq = np.broadcast_to(
+                    dpooled[:, None, :] / frames, (batch, frames, dpooled.shape[-1])
+                ).copy()
+            else:
+                dseq = self.head.backward(grad)
+                for lstm in reversed(self.lstms):
+                    dseq = lstm.backward(dseq)
+            dmerged = self.merge.backward(dseq.reshape(batch * frames, -1))
+            out: dict[str, np.ndarray] = {}
+            offset = 0
+            for name, branch in zip(self.channel_names, self.branches):
+                width = self.cfg.branch_dim
+                dbranch = branch.backward(dmerged[:, offset : offset + width])
+                offset += width
+                n_tags, dim = self.channel_shapes[name]
+                out[name] = dbranch.reshape(batch, frames, n_tags, dim)
+            return out
 
     def predict_logits(self, inputs: dict[str, np.ndarray]) -> np.ndarray:
         """Sample-level logits: mean of the per-frame logits, ``(B, C)``.

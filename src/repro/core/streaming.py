@@ -24,6 +24,8 @@ from repro.core.pipeline import M2AIPipeline
 from repro.dsp.calibration import PhaseCalibrator, uncalibrated
 from repro.dsp.features import M2AIFeaturizer
 from repro.hardware.llrp import ReadLog
+from repro.obs.metrics import counter
+from repro.obs.tracing import span
 
 ABSTAIN = "abstain"
 """Label carried by abstain decisions."""
@@ -117,24 +119,29 @@ class StreamingIdentifier:
         dwell = log.meta.dwell_s
         n_frames = max(1, int(round(self.window_s / dwell)))
 
-        psi_full = (
-            self.calibrator.calibrate(log)
-            if self.calibrator is not None
-            else uncalibrated(log)
-        )
-        t0 = np.floor(float(log.timestamp_s.min()) / dwell) * dwell
-        # A window is complete once its final dwell has started.
-        t_end = float(log.timestamp_s.max()) + dwell
-        decisions: list[WindowDecision] = []
-        start = t0
-        while start + self.window_s <= t_end + 1e-9:
-            mask = (log.timestamp_s >= start) & (
-                log.timestamp_s < start + self.window_s
+        with span("streaming.identify", reads=log.n_reads) as identify_span:
+            psi_full = (
+                self.calibrator.calibrate(log)
+                if self.calibrator is not None
+                else uncalibrated(log)
             )
-            decisions.append(
-                self._decide(log, psi_full, mask, float(start), n_frames)
-            )
-            start += hop
+            t0 = np.floor(float(log.timestamp_s.min()) / dwell) * dwell
+            # A window is complete once its final dwell has started.
+            t_end = float(log.timestamp_s.max()) + dwell
+            decisions: list[WindowDecision] = []
+            start = t0
+            while start + self.window_s <= t_end + 1e-9:
+                mask = (log.timestamp_s >= start) & (
+                    log.timestamp_s < start + self.window_s
+                )
+                with span("streaming.window", t_start_s=float(start)):
+                    decision = self._decide(
+                        log, psi_full, mask, float(start), n_frames
+                    )
+                counter("streaming.windows_total").inc()
+                decisions.append(decision)
+                start += hop
+            identify_span.set(windows=len(decisions))
         return decisions
 
     def _decide(
@@ -164,6 +171,7 @@ class StreamingIdentifier:
             return self._abstain(
                 start, end, n_reads, REASON_LOW_CONFIDENCE
             )
+        counter("streaming.decisions_total").inc()
         return WindowDecision(
             t_start_s=start,
             t_end_s=end,
@@ -175,6 +183,7 @@ class StreamingIdentifier:
     def _abstain(
         self, start: float, end: float, n_reads: int, reason: str
     ) -> WindowDecision:
+        counter("streaming.abstain_total", reason=reason).inc()
         return WindowDecision(
             t_start_s=start,
             t_end_s=end,

@@ -18,6 +18,8 @@ from repro.core.model import M2AINet
 from repro.ml.base import LabelEncoder
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.obs.metrics import counter
+from repro.obs.tracing import span
 
 
 @dataclass
@@ -30,6 +32,7 @@ class TrainHistory:
 
     @property
     def best_val_accuracy(self) -> float:
+        """Best validation accuracy seen (NaN when no validation ran)."""
         return max(self.val_accuracy) if self.val_accuracy else float("nan")
 
 
@@ -82,30 +85,32 @@ class Trainer:
             order = self._rng.permutation(n)
             epoch_loss = 0.0
             batches = 0
-            for start in range(0, n, self.cfg.batch_size):
-                idx = order[start : start + self.cfg.batch_size]
-                batch = {k: v[idx] for k, v in inputs.items()}
-                if self.cfg.augment:
-                    batch = augment_batch(batch, self._rng, AugmentConfig())
-                logits = self.model.forward(batch, training=True)
-                frames = logits.shape[1]
-                warmup_start = 0
-                if self.model.mode != "cnn":
-                    warmup_start = min(self.cfg.warmup_frames, frames - 1)
-                frame_labels = np.repeat(
-                    label_ids[idx][:, None], frames - warmup_start, axis=1
-                )
-                loss, dsliced = softmax_cross_entropy(
-                    logits[:, warmup_start:, :], frame_labels
-                )
-                dlogits = np.zeros_like(logits)
-                dlogits[:, warmup_start:, :] = dsliced
-                self.model.zero_grad()
-                self.model.backward(dlogits)
-                clip_grad_norm(self.model.parameters(), self.cfg.clip_norm)
-                self.optimizer.step()
-                epoch_loss += loss
-                batches += 1
+            with span("train.epoch", epoch=_epoch, samples=n):
+                for start in range(0, n, self.cfg.batch_size):
+                    idx = order[start : start + self.cfg.batch_size]
+                    batch = {k: v[idx] for k, v in inputs.items()}
+                    if self.cfg.augment:
+                        batch = augment_batch(batch, self._rng, AugmentConfig())
+                    logits = self.model.forward(batch, training=True)
+                    frames = logits.shape[1]
+                    warmup_start = 0
+                    if self.model.mode != "cnn":
+                        warmup_start = min(self.cfg.warmup_frames, frames - 1)
+                    frame_labels = np.repeat(
+                        label_ids[idx][:, None], frames - warmup_start, axis=1
+                    )
+                    loss, dsliced = softmax_cross_entropy(
+                        logits[:, warmup_start:, :], frame_labels
+                    )
+                    dlogits = np.zeros_like(logits)
+                    dlogits[:, warmup_start:, :] = dsliced
+                    self.model.zero_grad()
+                    self.model.backward(dlogits)
+                    clip_grad_norm(self.model.parameters(), self.cfg.clip_norm)
+                    self.optimizer.step()
+                    epoch_loss += loss
+                    batches += 1
+            counter("train.batches_total").inc(batches)
             history.loss.append(epoch_loss / max(batches, 1))
             history.train_accuracy.append(self.accuracy(inputs, label_ids))
             if val_inputs is not None and val_label_ids is not None:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.dsp.angles import circular_median, fold_double, wrap_2pi
 from repro.hardware.llrp import ReadLog
+from repro.obs.tracing import span
 
 _MIN_CHANNELS_FOR_FIT = 4
 
@@ -94,21 +95,26 @@ class PhaseCalibrator:
         if calibration_log.n_reads == 0:
             raise ValueError("calibration log is empty")
         meta = calibration_log.meta
-        freqs = np.asarray(meta.frequencies_hz, dtype=np.float64)
-        calibrator = cls(
-            frequencies_hz=freqs, reference_channel=meta.reference_channel
-        )
-        psi = fold_double(calibration_log.phase_rad)
-        n_channels = freqs.size
-        for tag in range(calibration_log.n_tags):
-            tag_mask = calibration_log.tag_index == tag
-            for ant in range(meta.n_antennas):
-                mask = tag_mask & (calibration_log.antenna == ant)
-                offsets = np.full(n_channels, np.nan)
-                for ch in np.unique(calibration_log.channel[mask]):
-                    ch_mask = mask & (calibration_log.channel == ch)
-                    offsets[ch] = circular_median(psi[ch_mask])
-                calibrator._tables[(tag, ant)] = _fit_antenna(offsets, freqs)
+        with span(
+            "dsp.calibration.fit",
+            reads=calibration_log.n_reads,
+            tags=calibration_log.n_tags,
+        ):
+            freqs = np.asarray(meta.frequencies_hz, dtype=np.float64)
+            calibrator = cls(
+                frequencies_hz=freqs, reference_channel=meta.reference_channel
+            )
+            psi = fold_double(calibration_log.phase_rad)
+            n_channels = freqs.size
+            for tag in range(calibration_log.n_tags):
+                tag_mask = calibration_log.tag_index == tag
+                for ant in range(meta.n_antennas):
+                    mask = tag_mask & (calibration_log.antenna == ant)
+                    offsets = np.full(n_channels, np.nan)
+                    for ch in np.unique(calibration_log.channel[mask]):
+                        ch_mask = mask & (calibration_log.channel == ch)
+                        offsets[ch] = circular_median(psi[ch_mask])
+                    calibrator._tables[(tag, ant)] = _fit_antenna(offsets, freqs)
         return calibrator
 
     def calibrate(self, log: ReadLog) -> np.ndarray:
@@ -128,25 +134,28 @@ class PhaseCalibrator:
         Returns:
             ``(R,)`` calibrated doubled phases in ``[0, 2*pi)``.
         """
-        psi = fold_double(log.phase_rad)
-        out = np.empty_like(psi)
-        out[...] = psi
-        for tag in np.unique(log.tag_index):
-            for ant in np.unique(log.antenna):
-                mask = (log.tag_index == tag) & (log.antenna == ant)
-                if not mask.any():
-                    continue
-                table = self._tables.get((int(tag), int(ant)))
-                if table is None:
-                    continue
-                offset_vector = np.array(
-                    [
-                        table.offset_for(c, self.frequencies_hz)
-                        for c in range(self.frequencies_hz.size)
-                    ]
-                )
-                ref = offset_vector[self.reference_channel]
-                out[mask] = wrap_2pi(psi[mask] - offset_vector[log.channel[mask]] + ref)
+        with span("dsp.calibration.calibrate", reads=log.n_reads):
+            psi = fold_double(log.phase_rad)
+            out = np.empty_like(psi)
+            out[...] = psi
+            for tag in np.unique(log.tag_index):
+                for ant in np.unique(log.antenna):
+                    mask = (log.tag_index == tag) & (log.antenna == ant)
+                    if not mask.any():
+                        continue
+                    table = self._tables.get((int(tag), int(ant)))
+                    if table is None:
+                        continue
+                    offset_vector = np.array(
+                        [
+                            table.offset_for(c, self.frequencies_hz)
+                            for c in range(self.frequencies_hz.size)
+                        ]
+                    )
+                    ref = offset_vector[self.reference_channel]
+                    out[mask] = wrap_2pi(
+                        psi[mask] - offset_vector[log.channel[mask]] + ref
+                    )
         return out
 
     def coverage(self, tag: int, antenna: int) -> float:

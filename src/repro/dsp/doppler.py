@@ -107,6 +107,7 @@ class DopplerFeaturizer:
         n_frames: int | None = None,
         label: str | None = None,
     ):
+        """Featurise ``log`` into Doppler-rate frames."""
         from repro.dsp.frames import FeatureFrames, tag_snapshot_set
 
         snapshot_sets = tag_snapshot_set(log, psi, n_frames)

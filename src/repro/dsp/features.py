@@ -32,6 +32,7 @@ class M2AIFeaturizer:
     def transform(
         self, log: ReadLog, psi: np.ndarray, n_frames: int | None = None, label: str | None = None
     ) -> FeatureFrames:
+        """Featurise one calibrated log into :class:`FeatureFrames`."""
         return build_spectrum_frames(
             log,
             psi,
@@ -53,6 +54,7 @@ class MusicOnlyFeaturizer:
     def transform(
         self, log: ReadLog, psi: np.ndarray, n_frames: int | None = None, label: str | None = None
     ) -> FeatureFrames:
+        """Featurise one calibrated log into :class:`FeatureFrames`."""
         return build_spectrum_frames(
             log,
             psi,
@@ -73,6 +75,7 @@ class FftOnlyFeaturizer:
     def transform(
         self, log: ReadLog, psi: np.ndarray, n_frames: int | None = None, label: str | None = None
     ) -> FeatureFrames:
+        """Featurise one calibrated log into :class:`FeatureFrames`."""
         return build_spectrum_frames(
             log,
             psi,
@@ -97,6 +100,7 @@ class PhaseFeaturizer:
     def transform(
         self, log: ReadLog, psi: np.ndarray, n_frames: int | None = None, label: str | None = None
     ) -> FeatureFrames:
+        """Featurise one calibrated log into :class:`FeatureFrames`."""
         snapshot_sets = tag_snapshot_set(log, psi, n_frames)
         frames = snapshot_sets[0].n_frames
         n_tags = len(snapshot_sets)
@@ -127,6 +131,7 @@ class RssiFeaturizer:
     def transform(
         self, log: ReadLog, psi: np.ndarray, n_frames: int | None = None, label: str | None = None
     ) -> FeatureFrames:
+        """Featurise one calibrated log into :class:`FeatureFrames`."""
         snapshot_sets = tag_snapshot_set(log, psi, n_frames)
         frames = snapshot_sets[0].n_frames
         n_tags = len(snapshot_sets)

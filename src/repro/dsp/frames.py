@@ -25,6 +25,7 @@ from repro.dsp.music import (
 from repro.dsp.periodogram import spatial_periodogram
 from repro.dsp.snapshots import TagSnapshots, build_snapshots
 from repro.hardware.llrp import ReadLog
+from repro.obs.tracing import span
 
 _DB_FLOOR = -40.0
 
@@ -69,10 +70,12 @@ class FeatureFrames:
 
     @property
     def n_frames(self) -> int:
+        """Number of frames."""
         return int(next(iter(self.channels.values())).shape[0])
 
     @property
     def n_tags(self) -> int:
+        """Number of tags."""
         return int(next(iter(self.channels.values())).shape[1])
 
     def channel_dims(self) -> dict[str, int]:
@@ -140,17 +143,46 @@ def build_spectrum_frames(
         were computed under.
     """
     grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
-    snapshot_sets = tag_snapshot_set(log, psi, n_frames)
+    with span("dsp.frames.build", reads=log.n_reads) as build_span:
+        snapshot_sets = tag_snapshot_set(log, psi, n_frames)
+        frames = snapshot_sets[0].n_frames
+        n_tags = len(snapshot_sets)
+        build_span.set(frames=frames, tags=n_tags)
+        n_ant = log.meta.n_antennas
+        live = log.antenna_liveness()
+        healthy = bool(live.all())
+        can_aoa = int(live.sum()) >= 2
+
+        pseudo = np.zeros((frames, n_tags, grid.size)) if include_pseudo else None
+        period = np.zeros((frames, n_tags, n_ant)) if include_period else None
+
+        _build_tag_frames(
+            snapshot_sets, log, grid, live, healthy, can_aoa, pseudo, period
+        )
+
+    channels: dict[str, np.ndarray] = {}
+    if pseudo is not None:
+        channels["pseudo"] = pseudo
+    if period is not None:
+        channels["period"] = period
+    return FeatureFrames(
+        channels=channels, label=label, meta={"antenna_liveness": live}
+    )
+
+
+def _build_tag_frames(
+    snapshot_sets: list[TagSnapshots],
+    log: ReadLog,
+    grid: np.ndarray,
+    live: np.ndarray,
+    healthy: bool,
+    can_aoa: bool,
+    pseudo: np.ndarray | None,
+    period: np.ndarray | None,
+) -> None:
+    """Fill the per-tag frame tensors in place (split out of the public
+    entry point so the span covers exactly the assembly work)."""
     frames = snapshot_sets[0].n_frames
-    n_tags = len(snapshot_sets)
-    n_ant = log.meta.n_antennas
-    live = log.antenna_liveness()
-    healthy = bool(live.all())
-    can_aoa = int(live.sum()) >= 2
-
-    pseudo = np.zeros((frames, n_tags, grid.size)) if include_pseudo else None
-    period = np.zeros((frames, n_tags, n_ant)) if include_period else None
-
     for k, snaps in enumerate(snapshot_sets):
         for f in range(frames):
             if not snaps.frame_valid(f):
@@ -187,12 +219,3 @@ def build_spectrum_frames(
                 period[f, k] = power_to_db(
                     spatial_periodogram(z, valid, liveness=None if healthy else live)
                 )
-
-    channels: dict[str, np.ndarray] = {}
-    if pseudo is not None:
-        channels["pseudo"] = pseudo
-    if period is not None:
-        channels["period"] = period
-    return FeatureFrames(
-        channels=channels, label=label, meta={"antenna_liveness": live}
-    )

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracing import span
+
 PHASE_MULTIPLIER = 4.0
 """Round-trip (x2) times ambiguity folding (x2)."""
 
@@ -154,22 +156,23 @@ def music_pseudospectrum(
         raise ValueError("covariance must be square")
     grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
 
-    eigvals, eigvecs = np.linalg.eigh(r)
-    order = np.argsort(eigvals)[::-1]
-    eigvals = eigvals[order].real
-    eigvecs = eigvecs[:, order]
+    with span("dsp.music", elements=int(r.shape[0])):
+        eigvals, eigvecs = np.linalg.eigh(r)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = eigvals[order].real
+        eigvecs = eigvecs[:, order]
 
-    m = n_sources if n_sources is not None else estimate_n_sources(eigvals)
-    m = max(1, min(m, r.shape[0] - 1))
-    noise = eigvecs[:, m:]
+        m = n_sources if n_sources is not None else estimate_n_sources(eigvals)
+        m = max(1, min(m, r.shape[0] - 1))
+        noise = eigvecs[:, m:]
 
-    a = steering_matrix(
-        grid, r.shape[0], spacing_m, wavelength_m, phase_multiplier,
-        element_indices=element_indices,
-    )
-    proj = noise.conj().T @ a
-    denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=0), 1e-12)
-    spectrum = 1.0 / denom
+        a = steering_matrix(
+            grid, r.shape[0], spacing_m, wavelength_m, phase_multiplier,
+            element_indices=element_indices,
+        )
+        proj = noise.conj().T @ a
+        denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=0), 1e-12)
+        spectrum = 1.0 / denom
     return MusicResult(
         angles_deg=np.asarray(grid, dtype=np.float64),
         spectrum=spectrum,
@@ -215,10 +218,12 @@ def masked_pseudospectrum(
         ValueError: when fewer than two ports are live.
     """
     from repro.dsp.correlation import spatial_covariance
+    from repro.obs.metrics import counter
 
     live = np.asarray(liveness, dtype=bool)
     if int(live.sum()) < 2:
         raise ValueError("need at least two live ports for AoA")
+    counter("dsp.music.masked_total").inc()
     if live.all():
         cov = spatial_covariance(snapshots, valid)
         return music_pseudospectrum(

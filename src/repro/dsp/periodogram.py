@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracing import span
+
 
 def periodogram_psd(y: np.ndarray) -> np.ndarray:
     """The classical periodogram ``phi_p(omega_k) = |Y(k)|^2 / N``.
@@ -65,29 +67,32 @@ def spatial_periodogram(
     x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise ValueError("snapshots must be (K, N)")
-    live = None
-    if liveness is not None:
-        live = np.asarray(liveness, dtype=bool)
-        if live.shape != (x.shape[1],):
-            raise ValueError("liveness must be (N,)")
-        if not live.any():
-            raise ValueError("no live ports")
-        if live.all():
-            live = None
-    if valid is not None:
-        complete = valid.all(axis=1) if live is None else valid[:, live].all(axis=1)
-        if complete.any():
-            x = x[complete]
-        elif not valid.any():
+    with span("dsp.periodogram", snapshots=int(x.shape[0])):
+        live = None
+        if liveness is not None:
+            live = np.asarray(liveness, dtype=bool)
+            if live.shape != (x.shape[1],):
+                raise ValueError("liveness must be (N,)")
+            if not live.any():
+                raise ValueError("no live ports")
+            if live.all():
+                live = None
+        if valid is not None:
+            complete = (
+                valid.all(axis=1) if live is None else valid[:, live].all(axis=1)
+            )
+            if complete.any():
+                x = x[complete]
+            elif not valid.any():
+                raise ValueError("no valid snapshots")
+        if x.shape[0] == 0:
             raise ValueError("no valid snapshots")
-    if x.shape[0] == 0:
-        raise ValueError("no valid snapshots")
-    scale = 1.0
-    if live is not None:
-        x = np.where(live[None, :], x, 0.0)
-        scale = x.shape[1] / float(live.sum())
-    powers = np.abs(np.fft.fft(x, axis=1)) ** 2 / x.shape[1]
-    return scale * powers.mean(axis=0)
+        scale = 1.0
+        if live is not None:
+            x = np.where(live[None, :], x, 0.0)
+            scale = x.shape[1] / float(live.sum())
+        powers = np.abs(np.fft.fft(x, axis=1)) ** 2 / x.shape[1]
+        return scale * powers.mean(axis=0)
 
 
 def total_power(y: np.ndarray) -> float:

@@ -39,10 +39,12 @@ class TagSnapshots:
 
     @property
     def n_frames(self) -> int:
+        """Number of frames."""
         return int(self.z.shape[0])
 
     @property
     def n_antennas(self) -> int:
+        """Number of antenna elements."""
         return int(self.z.shape[2])
 
     def frame_valid(self, f: int, min_antennas: int = 2) -> bool:

@@ -97,13 +97,16 @@ class Rectangle:
 
     @property
     def width(self) -> float:
+        """Extent along x."""
         return self.x1 - self.x0
 
     @property
     def height(self) -> float:
+        """Extent along y."""
         return self.y1 - self.y0
 
     def center(self) -> Vec2:
+        """Centre point of the rectangle."""
         return Vec2((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
 
     def contains(self, p: Vec2, margin: float = 0.0) -> bool:

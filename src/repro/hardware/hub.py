@@ -22,6 +22,8 @@ from repro.hardware.antenna import UniformLinearArray
 from repro.hardware.llrp import ReadLog
 from repro.hardware.reader import Reader, ReaderConfig
 from repro.hardware.scene import Scene, TagTrack
+from repro.obs.metrics import counter
+from repro.obs.tracing import span
 
 
 @dataclass
@@ -64,7 +66,10 @@ class AntennaHub:
         Returns:
             Logs in array order.
         """
-        return [reader.inventory(scene, duration_s) for reader in self.readers]
+        with span("hub.inventory", arrays=len(self.readers)):
+            logs = [reader.inventory(scene, duration_s) for reader in self.readers]
+        counter("hub.reads_merged_total").inc(sum(log.n_reads for log in logs))
+        return logs
 
     def calibration_inventory(self, scene: Scene, duration_s: float = 20.0) -> list[ReadLog]:
         """Stationary bootstrap per member array."""
@@ -121,20 +126,31 @@ def merge_hub_features(
     reference = next((feat for feat in per_array if feat is not None), None)
     if reference is None:
         raise ValueError("no surviving hub members to merge")
-    frames = reference.n_frames
-    tags = reference.n_tags
-    channels: dict[str, np.ndarray] = {}
-    for idx, feat in enumerate(per_array):
-        alive = feat is not None and feat.n_frames == frames and feat.n_tags == tags
-        source = feat.channels if alive else {
-            name: np.zeros_like(arr) for name, arr in reference.channels.items()
-        }
-        for name, arr in source.items():
-            channels[f"{name}@{idx}"] = arr
-        if with_liveness:
-            channels[f"alive@{idx}"] = np.full(
-                (frames, tags, 1), 1.0 if alive else 0.0
+    with span("hub.merge", members=len(per_array)) as merge_span:
+        frames = reference.n_frames
+        tags = reference.n_tags
+        zero_filled = 0
+        channels: dict[str, np.ndarray] = {}
+        for idx, feat in enumerate(per_array):
+            alive = (
+                feat is not None
+                and feat.n_frames == frames
+                and feat.n_tags == tags
             )
+            if not alive:
+                zero_filled += 1
+            source = feat.channels if alive else {
+                name: np.zeros_like(arr) for name, arr in reference.channels.items()
+            }
+            for name, arr in source.items():
+                channels[f"{name}@{idx}"] = arr
+            if with_liveness:
+                channels[f"alive@{idx}"] = np.full(
+                    (frames, tags, 1), 1.0 if alive else 0.0
+                )
+        merge_span.set(zero_filled=zero_filled)
+    counter("hub.views_merged_total").inc(len(per_array) - zero_filled)
+    counter("hub.views_zero_filled_total").inc(zero_filled)
     return FeatureFrames(channels=channels, label=reference.label)
 
 

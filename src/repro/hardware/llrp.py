@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import counter
+from repro.obs.tracing import span
+
 
 @dataclass(frozen=True)
 class ReaderMeta:
@@ -163,14 +166,17 @@ def concatenate_logs(logs: list[ReadLog]) -> ReadLog:
             raise ValueError("cannot concatenate logs with different reader timing")
         if not np.array_equal(log.meta.frequencies_hz, first.meta.frequencies_hz):
             raise ValueError("cannot concatenate logs with different channel tables")
-    return ReadLog(
-        epcs=first.epcs,
-        tag_index=np.concatenate([log.tag_index for log in logs]),
-        antenna=np.concatenate([log.antenna for log in logs]),
-        channel=np.concatenate([log.channel for log in logs]),
-        frequency_hz=np.concatenate([log.frequency_hz for log in logs]),
-        timestamp_s=np.concatenate([log.timestamp_s for log in logs]),
-        phase_rad=np.concatenate([log.phase_rad for log in logs]),
-        rssi_dbm=np.concatenate([log.rssi_dbm for log in logs]),
-        meta=first.meta,
-    )
+    with span("ingest.concat", logs=len(logs)):
+        merged = ReadLog(
+            epcs=first.epcs,
+            tag_index=np.concatenate([log.tag_index for log in logs]),
+            antenna=np.concatenate([log.antenna for log in logs]),
+            channel=np.concatenate([log.channel for log in logs]),
+            frequency_hz=np.concatenate([log.frequency_hz for log in logs]),
+            timestamp_s=np.concatenate([log.timestamp_s for log in logs]),
+            phase_rad=np.concatenate([log.phase_rad for log in logs]),
+            rssi_dbm=np.concatenate([log.rssi_dbm for log in logs]),
+            meta=first.meta,
+        )
+    counter("ingest.reads_total", source="concat").inc(merged.n_reads)
+    return merged

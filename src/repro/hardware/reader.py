@@ -30,6 +30,7 @@ from repro.hardware.antenna import UniformLinearArray
 from repro.hardware.hopping import FrequencyHopper
 from repro.hardware.llrp import ReaderMeta, ReadLog
 from repro.hardware.scene import Scene
+from repro.obs.tracing import span
 
 TWO_PI = 2.0 * np.pi
 
@@ -178,6 +179,43 @@ class Reader:
         frequencies = self.hopper.frequencies_hz[channels]
 
         records: list[dict[str, np.ndarray]] = []
+        with span("ingest.inventory", slots=n_slots, tags=len(scene.tag_tracks)):
+            self._render_tracks(scene, records, antenna_idx, channels, wavelengths,
+                                ant_traj, timestamps, frequencies, n_slots)
+
+        def cat(name: str) -> np.ndarray:
+            return np.concatenate([r[name] for r in records])
+
+        order = np.argsort(cat("timestamp_s"), kind="stable")
+        return ReadLog(
+            epcs=scene.epcs,
+            tag_index=cat("tag_index")[order],
+            antenna=cat("antenna")[order],
+            channel=cat("channel")[order],
+            frequency_hz=cat("frequency_hz")[order],
+            timestamp_s=cat("timestamp_s")[order],
+            phase_rad=cat("phase_rad")[order],
+            rssi_dbm=cat("rssi_dbm")[order],
+            meta=self.meta,
+        )
+
+    def _render_tracks(
+        self,
+        scene: Scene,
+        records: list[dict[str, np.ndarray]],
+        antenna_idx: np.ndarray,
+        channels: np.ndarray,
+        wavelengths: np.ndarray,
+        ant_traj: np.ndarray,
+        timestamps: np.ndarray,
+        frequencies: np.ndarray,
+        n_slots: int,
+    ) -> None:
+        """Render every tag track through the channel into ``records``.
+
+        Split out of :meth:`inventory` so the ``ingest.inventory`` span
+        covers exactly the per-tag channel rendering.
+        """
         for k, track in enumerate(scene.tag_tracks):
             g = self.channel.one_way_gain(
                 ant_traj,
@@ -228,22 +266,6 @@ class Reader:
                     "rssi_dbm": rssi[keep],
                 }
             )
-
-        def cat(name: str) -> np.ndarray:
-            return np.concatenate([r[name] for r in records])
-
-        order = np.argsort(cat("timestamp_s"), kind="stable")
-        return ReadLog(
-            epcs=scene.epcs,
-            tag_index=cat("tag_index")[order],
-            antenna=cat("antenna")[order],
-            channel=cat("channel")[order],
-            frequency_hz=cat("frequency_hz")[order],
-            timestamp_s=cat("timestamp_s")[order],
-            phase_rad=cat("phase_rad")[order],
-            rssi_dbm=cat("rssi_dbm")[order],
-            meta=self.meta,
-        )
 
     def _flip_table(self, epc: str) -> np.ndarray:
         """Stable pi-ambiguity flips for one tag, ``(N, n_channels)``.

@@ -71,6 +71,7 @@ class Scene:
 
     @property
     def n_slots(self) -> int:
+        """Trajectory length in slots (1 when everything is stationary)."""
         for track in self.tag_tracks:
             if track.positions.ndim == 2:
                 return int(track.positions.shape[0])
@@ -80,6 +81,7 @@ class Scene:
 
     @property
     def epcs(self) -> tuple[str, ...]:
+        """EPC strings in tag-index order."""
         return tuple(t.tag.epc for t in self.tag_tracks)
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.hardware.llrp import ReaderMeta, ReadLog
+from repro.obs.tracing import span
 
 _COLUMNS = ("epc", "antenna", "channel", "frequency_hz", "timestamp_s", "phase_rad", "rssi_dbm")
 
@@ -69,77 +70,87 @@ def load_csv(path: str | Path | io.TextIOBase) -> ReadLog:
     own = isinstance(path, (str, Path))
     handle: io.TextIOBase = open(path, "r") if own else path  # type: ignore[assignment]
     try:
-        meta_fields: dict[str, str] = {}
-        header: list[str] | None = None
-        rows: list[tuple] = []
-        epcs: list[str] = []
-        index_of: dict[str, int] = {}
-        for raw_line in handle:
-            line = raw_line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                key, _, value = line[1:].strip().partition("=")
-                meta_fields[key.strip()] = value
-                continue
-            if header is None:
-                header = [c.strip() for c in line.split(",")]
-                if tuple(header) != _COLUMNS:
-                    raise ValueError(f"unexpected CSV columns: {header}")
-                continue
-            parts = line.split(",")
-            if len(parts) != len(_COLUMNS):
-                raise ValueError(f"malformed row: {line!r}")
-            epc = parts[0]
-            if epc not in index_of:
-                index_of[epc] = len(epcs)
-                epcs.append(epc)
-            rows.append(
-                (
-                    index_of[epc],
-                    int(parts[1]),
-                    int(parts[2]),
-                    float(parts[3]),
-                    float(parts[4]),
-                    float(parts[5]),
-                    float(parts[6]),
-                )
-            )
-        if header is None:
-            raise ValueError("no header line found")
-        required = {
-            "n_antennas",
-            "slot_s",
-            "dwell_s",
-            "spacing_m",
-            "reference_channel",
-            "frequencies_hz",
-        }
-        missing = required - set(meta_fields)
-        if missing:
-            raise ValueError(f"missing metadata comments: {sorted(missing)}")
-        meta = ReaderMeta(
-            n_antennas=int(meta_fields["n_antennas"]),
-            slot_s=float(meta_fields["slot_s"]),
-            dwell_s=float(meta_fields["dwell_s"]),
-            spacing_m=float(meta_fields["spacing_m"]),
-            frequencies_hz=np.array(
-                [float(v) for v in meta_fields["frequencies_hz"].split(",")]
-            ),
-            reference_channel=int(meta_fields["reference_channel"]),
-        )
-        arr = np.array(rows, dtype=np.float64) if rows else np.zeros((0, 7))
-        return ReadLog(
-            epcs=tuple(epcs),
-            tag_index=arr[:, 0].astype(np.int64),
-            antenna=arr[:, 1].astype(np.int64),
-            channel=arr[:, 2].astype(np.int64),
-            frequency_hz=arr[:, 3],
-            timestamp_s=arr[:, 4],
-            phase_rad=arr[:, 5],
-            rssi_dbm=arr[:, 6],
-            meta=meta,
-        )
+        with span("ingest.load_csv"):
+            return _parse_csv(handle)
     finally:
         if own:
             handle.close()
+
+
+def _parse_csv(handle: io.TextIOBase) -> ReadLog:
+    """Parse an open CSV handle into a :class:`ReadLog`.
+
+    Split out of :func:`load_csv` so the ``ingest.load_csv`` span covers
+    exactly the parse work, not handle management.
+    """
+    meta_fields: dict[str, str] = {}
+    header: list[str] | None = None
+    rows: list[tuple] = []
+    epcs: list[str] = []
+    index_of: dict[str, int] = {}
+    for raw_line in handle:
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            key, _, value = line[1:].strip().partition("=")
+            meta_fields[key.strip()] = value
+            continue
+        if header is None:
+            header = [c.strip() for c in line.split(",")]
+            if tuple(header) != _COLUMNS:
+                raise ValueError(f"unexpected CSV columns: {header}")
+            continue
+        parts = line.split(",")
+        if len(parts) != len(_COLUMNS):
+            raise ValueError(f"malformed row: {line!r}")
+        epc = parts[0]
+        if epc not in index_of:
+            index_of[epc] = len(epcs)
+            epcs.append(epc)
+        rows.append(
+            (
+                index_of[epc],
+                int(parts[1]),
+                int(parts[2]),
+                float(parts[3]),
+                float(parts[4]),
+                float(parts[5]),
+                float(parts[6]),
+            )
+        )
+    if header is None:
+        raise ValueError("no header line found")
+    required = {
+        "n_antennas",
+        "slot_s",
+        "dwell_s",
+        "spacing_m",
+        "reference_channel",
+        "frequencies_hz",
+    }
+    missing = required - set(meta_fields)
+    if missing:
+        raise ValueError(f"missing metadata comments: {sorted(missing)}")
+    meta = ReaderMeta(
+        n_antennas=int(meta_fields["n_antennas"]),
+        slot_s=float(meta_fields["slot_s"]),
+        dwell_s=float(meta_fields["dwell_s"]),
+        spacing_m=float(meta_fields["spacing_m"]),
+        frequencies_hz=np.array(
+            [float(v) for v in meta_fields["frequencies_hz"].split(",")]
+        ),
+        reference_channel=int(meta_fields["reference_channel"]),
+    )
+    arr = np.array(rows, dtype=np.float64) if rows else np.zeros((0, 7))
+    return ReadLog(
+        epcs=tuple(epcs),
+        tag_index=arr[:, 0].astype(np.int64),
+        antenna=arr[:, 1].astype(np.int64),
+        channel=arr[:, 2].astype(np.int64),
+        frequency_hz=arr[:, 3],
+        timestamp_s=arr[:, 4],
+        phase_rad=arr[:, 5],
+        rssi_dbm=arr[:, 6],
+        meta=meta,
+    )

@@ -19,6 +19,7 @@ class LabelEncoder:
         self.classes_: np.ndarray | None = None
 
     def fit(self, labels: np.ndarray) -> "LabelEncoder":
+        """Learn the sorted class vocabulary; returns ``self``."""
         self.classes_ = np.array(sorted(set(np.asarray(labels).tolist())))
         return self
 
@@ -38,15 +39,18 @@ class LabelEncoder:
             raise ValueError(f"unseen label {exc.args[0]!r}") from None
 
     def fit_transform(self, labels: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
         return self.fit(labels).transform(labels)
 
     def inverse(self, ids: np.ndarray) -> np.ndarray:
+        """Ids back to labels."""
         if self.classes_ is None:
             raise RuntimeError("LabelEncoder not fitted")
         return self.classes_[np.asarray(ids)]
 
     @property
     def n_classes(self) -> int:
+        """Number of fitted classes."""
         if self.classes_ is None:
             raise RuntimeError("LabelEncoder not fitted")
         return len(self.classes_)

@@ -42,6 +42,7 @@ class AdaBoostClassifier(Classifier):
         self._votes: list[float] = []
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         self._encoder.fit(y)
         k = self._encoder.n_classes
@@ -81,6 +82,7 @@ class AdaBoostClassifier(Classifier):
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         if not self._learners:
             raise RuntimeError("classifier not fitted")
         classes = self._encoder.classes_

@@ -22,6 +22,7 @@ class PCA:
         self.explained_variance_: np.ndarray | None = None
 
     def fit(self, x: np.ndarray) -> "PCA":
+        """Fit the principal components; returns ``self``."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or len(x) == 0:
             raise ValueError("expected non-empty (n, d) features")
@@ -48,14 +49,17 @@ class PCA:
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project ``x`` onto the fitted components."""
         if self.mean_ is None or self.components_ is None:
             raise RuntimeError("PCA not fitted")
         return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
         return self.fit(x).transform(x)
 
     def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Map projections back to the original space."""
         if self.mean_ is None or self.components_ is None:
             raise RuntimeError("PCA not fitted")
         return np.asarray(z) @ self.components_ + self.mean_

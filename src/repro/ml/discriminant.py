@@ -59,6 +59,7 @@ class QuadraticDiscriminantAnalysis(Classifier):
         self._models: list[_ClassModel] = []
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "QuadraticDiscriminantAnalysis":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         ids = self._encoder.fit_transform(y)
         d = x.shape[1]
@@ -110,4 +111,5 @@ class QuadraticDiscriminantAnalysis(Classifier):
         return out
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         return self._encoder.inverse(self.decision_function(x).argmax(axis=1))

@@ -36,6 +36,7 @@ class RandomForestClassifier(Classifier):
         self._trees: list[DecisionTreeClassifier] = []
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         self._encoder.fit(y)
         self._trees = []
@@ -73,6 +74,7 @@ class RandomForestClassifier(Classifier):
         return total / len(self._trees)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         proba = self.predict_proba(x)
         classes = self._encoder.classes_
         assert classes is not None

@@ -43,6 +43,7 @@ class GaussianProcessClassifier(Classifier):
         return np.exp(-0.5 * np.maximum(d2, 0.0) / self._scale**2)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcessClassifier":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         ids = self._encoder.fit_transform(y)
         k = self._encoder.n_classes
@@ -71,4 +72,5 @@ class GaussianProcessClassifier(Classifier):
         return self._kernel(np.asarray(x, dtype=np.float64), self._x) @ self._alpha
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         return self._encoder.inverse(self.decision_function(x).argmax(axis=1))

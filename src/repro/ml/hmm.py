@@ -218,6 +218,7 @@ class HMMActivityClassifier(Classifier):
         raise ValueError(f"expected 2-D or 3-D features, got {x.shape}")
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "HMMActivityClassifier":
+        """Fit the classifier; returns ``self``."""
         sequences = self._to_sequences(x)
         y = np.asarray(y)
         ids = self._encoder.fit_transform(y)
@@ -239,6 +240,7 @@ class HMMActivityClassifier(Classifier):
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         if self._pca is None or not self._models:
             raise RuntimeError("classifier not fitted")
         sequences = self._to_sequences(x)

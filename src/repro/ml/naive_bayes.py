@@ -25,6 +25,7 @@ class GaussianNB(Classifier):
         self._log_priors: np.ndarray | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         ids = self._encoder.fit_transform(y)
         k = self._encoder.n_classes
@@ -55,4 +56,5 @@ class GaussianNB(Classifier):
         return out
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         return self._encoder.inverse(self.log_likelihood(x).argmax(axis=1))

@@ -27,12 +27,14 @@ class KNeighborsClassifier(Classifier):
         self._y: np.ndarray | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         self._x = x
         self._y = y
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         if self._x is None or self._y is None:
             raise RuntimeError("classifier not fitted")
         x = np.asarray(x, dtype=np.float64)

@@ -18,6 +18,7 @@ class StandardScaler:
         self.scale_: np.ndarray | None = None
 
     def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn feature means and scales; returns ``self``."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or len(x) == 0:
             raise ValueError("expected non-empty (n, d) features")
@@ -27,14 +28,17 @@ class StandardScaler:
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardise ``x`` with the fitted statistics."""
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("scaler not fitted")
         return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
         return self.fit(x).transform(x)
 
     def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo the standardisation."""
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("scaler not fitted")
         return np.asarray(x) * self.scale_ + self.mean_

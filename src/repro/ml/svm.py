@@ -38,6 +38,7 @@ class LinearSVM(Classifier):
         self._b: np.ndarray | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         ids = self._encoder.fit_transform(y)
         n, d = x.shape
@@ -70,6 +71,7 @@ class LinearSVM(Classifier):
         return np.asarray(x, dtype=np.float64) @ self._w.T + self._b
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         return self._encoder.inverse(self.decision_function(x).argmax(axis=1))
 
 
@@ -113,6 +115,7 @@ class RbfSVM(Classifier):
         return np.exp(-self._gamma_fitted * np.maximum(d2, 0.0))
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RbfSVM":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         ids = self._encoder.fit_transform(y)
         n = len(x)
@@ -158,4 +161,5 @@ class RbfSVM(Classifier):
         return scores
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         return self._encoder.inverse(self.decision_function(x).argmax(axis=1))

@@ -66,6 +66,7 @@ class DecisionTreeClassifier(Classifier):
         self._n_classes = 0
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit the classifier; returns ``self``."""
         x, y = validate_xy(x, y)
         ids = self._encoder.fit_transform(y)
         self._n_classes = self._encoder.n_classes
@@ -80,6 +81,7 @@ class DecisionTreeClassifier(Classifier):
         return np.stack([self._route(row) for row in x])
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class ids for ``x``, shape ``(B,)``."""
         return self._encoder.inverse(self.predict_proba(x).argmax(axis=1))
 
     def depth(self) -> int:

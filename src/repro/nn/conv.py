@@ -55,6 +55,7 @@ class Conv1d(Module):
         self._gather: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (B, {self.in_channels}, L), got {x.shape}"
@@ -78,6 +79,7 @@ class Conv1d(Module):
         return y.transpose(0, 2, 1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._cols is None or self._x_shape is None or self._gather is None:
             raise RuntimeError("backward before forward")
         batch, _c, length = self._x_shape
@@ -110,6 +112,7 @@ class MaxPool1d(Module):
         self._gather: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         if x.ndim != 3:
             raise ValueError(f"expected (B, C, L), got {x.shape}")
         batch, channels, length = x.shape
@@ -124,6 +127,7 @@ class MaxPool1d(Module):
         return windows.max(axis=3)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._x_shape is None or self._argmax is None or self._gather is None:
             raise RuntimeError("backward before forward")
         batch, channels, length = self._x_shape
@@ -142,10 +146,12 @@ class GlobalAveragePool1d(Module):
         self._x_shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         self._x_shape = x.shape
         return x.mean(axis=2)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._x_shape is None:
             raise RuntimeError("backward before forward")
         batch, channels, length = self._x_shape

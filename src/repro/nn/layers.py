@@ -28,10 +28,12 @@ class Dense(Module):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         self._x = x
         return x @ self.weight.value + self.bias.value
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         x = self._x
         if x is None:
             raise RuntimeError("backward before forward")
@@ -49,10 +51,12 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._mask is None:
             raise RuntimeError("backward before forward")
         return np.where(self._mask, grad, 0.0)
@@ -65,10 +69,12 @@ class Tanh(Module):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         self._y = np.tanh(x)
         return self._y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._y is None:
             raise RuntimeError("backward before forward")
         return grad * (1.0 - self._y**2)
@@ -85,6 +91,7 @@ class Dropout(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         if not training or self.rate == 0.0:
             self._mask = None
             return x
@@ -93,6 +100,7 @@ class Dropout(Module):
         return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._mask is None:
             return grad
         return grad * self._mask
@@ -105,10 +113,12 @@ class Flatten(Module):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._shape is None:
             raise RuntimeError("backward before forward")
         return grad.reshape(self._shape)

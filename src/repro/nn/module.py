@@ -55,13 +55,16 @@ class Parameter:
 
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the parameter value."""
         return self.value.shape
 
     @property
     def size(self) -> int:
+        """Number of scalar elements."""
         return int(self.value.size)
 
     def zero_grad(self) -> None:
+        """Reset the gradient to zero."""
         self.grad[...] = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -79,9 +82,11 @@ class Module:
     """
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for ``x``."""
         raise NotImplementedError
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate ``grad``; returns the gradient w.r.t. the input."""
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -140,11 +145,13 @@ class Sequential(Module):
         self.layers = list(layers)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layers in order."""
         for layer in self.layers:
             x = layer.forward(x, training=training)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the layers in reverse order."""
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad

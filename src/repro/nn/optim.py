@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.obs.metrics import counter
+from repro.obs.tracing import span
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
@@ -49,15 +51,17 @@ class SGD:
 
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
-        for p, v in zip(self.params, self._velocity):
-            g = p.grad
-            if self.weight_decay:
-                g = g + self.weight_decay * p.value
-            if self.momentum:
-                v *= self.momentum
-                v += g
-                g = v
-            p.value -= self.lr * g
+        with span("nn.optimizer.step", kind="sgd", params=len(self.params)):
+            for p, v in zip(self.params, self._velocity):
+                g = p.grad
+                if self.weight_decay:
+                    g = g + self.weight_decay * p.value
+                if self.momentum:
+                    v *= self.momentum
+                    v += g
+                    g = v
+                p.value -= self.lr * g
+        counter("nn.optimizer_steps_total", kind="sgd").inc()
 
 
 class Adam:
@@ -86,15 +90,17 @@ class Adam:
 
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
-        self._t += 1
-        bc1 = 1.0 - self.beta1**self._t
-        bc2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
-            g = p.grad
-            if self.weight_decay:
-                g = g + self.weight_decay * p.value
-            m *= self.beta1
-            m += (1.0 - self.beta1) * g
-            v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+        with span("nn.optimizer.step", kind="adam", params=len(self.params)):
+            self._t += 1
+            bc1 = 1.0 - self.beta1**self._t
+            bc2 = 1.0 - self.beta2**self._t
+            for p, m, v in zip(self.params, self._m, self._v):
+                g = p.grad
+                if self.weight_decay:
+                    g = g + self.weight_decay * p.value
+                m *= self.beta1
+                m += (1.0 - self.beta1) * g
+                v *= self.beta2
+                v += (1.0 - self.beta2) * g * g
+                p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+        counter("nn.optimizer_steps_total", kind="adam").inc()

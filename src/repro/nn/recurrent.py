@@ -49,6 +49,7 @@ class LSTM(Module):
         self._x_shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         if x.ndim != 3 or x.shape[2] != self.in_dim:
             raise ValueError(f"expected (B, T, {self.in_dim}), got {x.shape}")
         batch, steps, _dim = x.shape
@@ -86,6 +87,7 @@ class LSTM(Module):
         return outputs
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._cache is None or self._x_shape is None:
             raise RuntimeError("backward before forward")
         batch, steps, _dim = self._x_shape
@@ -126,10 +128,12 @@ class LastStep(Module):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass (caches what :meth:`backward` needs)."""
         self._shape = x.shape
         return x[:, -1, :]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns the input gradient."""
         if self._shape is None:
             raise RuntimeError("backward before forward")
         dx = np.zeros(self._shape)

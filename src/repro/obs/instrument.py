@@ -1,0 +1,91 @@
+"""Deep instrumentation: per-layer span wrapping for :mod:`repro.nn`.
+
+The inline spans in :mod:`repro.core.model` time the network as two
+stages (``nn.forward`` / ``nn.backward``).  When a profile needs to
+know *which layer* inside those stages is hot, :func:`nn_layer_spans`
+temporarily wraps ``forward``/``backward`` of every imported
+:class:`repro.nn.module.Module` subclass in a span named
+``nn.<ClassName>.forward`` — the same subclass-walking patch strategy
+as :func:`repro.analysis.sanitize.anomaly_detection`, and with the
+same contract: process-global, restored on exit, nested activations
+are no-ops.
+
+This is the expensive end of the observability spectrum (one span per
+layer per call), which is why it is a separate, opt-in context manager
+instead of always-on instrumentation.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.obs.tracing import span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nn.module import Module
+
+__all__ = ["nn_layer_spans"]
+
+_armed = False
+
+
+def _walk_module_classes() -> list[type["Module"]]:
+    """Every imported Module subclass, including Module itself.
+
+    Imported lazily so :mod:`repro.obs` stays dependency-free at
+    import time (instrumented nn modules import obs leaf modules; a
+    top-level import here would be circular).
+    """
+    from repro.nn.module import Module
+
+    classes: list[type[Module]] = [Module]
+    stack: list[type[Module]] = [Module]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub not in classes:
+                classes.append(sub)
+                stack.append(sub)
+    return classes
+
+
+def _wrap(orig: Callable, name: str) -> Callable:
+    """Wrap one method so each call runs inside a named span."""
+
+    @functools.wraps(orig)
+    def wrapper(self: Module, *args: object, **kwargs: object) -> object:
+        with span(name):
+            return orig(self, *args, **kwargs)
+
+    return wrapper
+
+
+@contextmanager
+def nn_layer_spans() -> Iterator[None]:
+    """Arm per-layer ``nn.<ClassName>.forward/backward`` spans.
+
+    Only classes already imported when the context manager arms are
+    wrapped; import your model first.  Nested activations are no-ops —
+    the outermost context owns the instrumentation.
+    """
+    global _armed
+    if _armed:
+        yield
+        return
+    undo: list[Callable[[], None]] = []
+    _armed = True
+    try:
+        for cls in _walk_module_classes():
+            for method in ("forward", "backward"):
+                if method not in cls.__dict__:
+                    continue
+                orig = cls.__dict__[method]
+                wrapped = _wrap(orig, f"nn.{cls.__name__}.{method}")
+                setattr(cls, method, wrapped)
+                undo.append(lambda c=cls, m=method, o=orig: setattr(c, m, o))
+        yield
+    finally:
+        for restore in reversed(undo):
+            restore()
+        _armed = False

@@ -1,0 +1,429 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the steady-state face of observability: where the span
+tree answers "what happened to *this* window", the registry answers
+"what has the process been doing" — total windows decided, abstains by
+reason, latency distributions per stage — in a form that exports
+losslessly to JSON and to the Prometheus text exposition format.
+
+Naming convention (see DESIGN.md §9): dotted lowercase names,
+``_total`` suffix for counters (``streaming.abstain_total``), ``_ms``
+suffix for latency histograms (``dsp.music.latency_ms``).  Labels are
+plain keyword arguments: ``counter("streaming.abstain_total",
+reason="dead_ports")``.  The Prometheus export maps dots to
+underscores, the JSON export keeps names verbatim.
+
+Every metric carries its own lock, so concurrent readers/DSP threads
+can update shared counters safely; the registry lock covers only
+metric creation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+
+from repro.obs import tracing
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NullMetric",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "reset_registry",
+]
+
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+)
+"""Default histogram edges (milliseconds) covering µs DSP kernels up
+to multi-second training epochs."""
+
+_NAME_PATTERN = re.compile(r"[a-z][a-z0-9_.]*")
+
+
+def _check_name(name: str) -> str:
+    """Validate a metric/label name against the naming convention."""
+    if not _NAME_PATTERN.fullmatch(name):
+        raise ValueError(
+            f"metric name {name!r} must match {_NAME_PATTERN.pattern}"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        """Create a zeroed counter; use the registry, not this directly."""
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, liveness)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        """Create a zeroed gauge; use the registry, not this directly."""
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    An observation lands in the first bucket whose upper edge is
+    **greater than or equal to** the value (``v <= le``); values above
+    the last edge land in the implicit ``+Inf`` bucket.  Bucket edges
+    are fixed at creation, so merging across processes or scrape
+    intervals is exact.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        """Create an empty histogram; use the registry, not this directly."""
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(b <= a for b, a in zip(edges[1:], edges[:-1])):
+            raise ValueError("buckets must be a non-empty increasing sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = edges
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(edges) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        idx = len(self.buckets)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs ending with ``(inf, count)``."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: list[tuple[float, int]] = []
+        running = 0
+        for edge, c in zip(self.buckets, counts):
+            running += c
+            cumulative.append((edge, running))
+        cumulative.append((float("inf"), running + counts[-1]))
+        return cumulative
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (per-bucket, non-cumulative)."""
+        with self._lock:
+            counts = list(self._counts)
+            total, sum_ = self._count, self._sum
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "buckets": [
+                {"le": edge, "count": c} for edge, c in zip(self.buckets, counts)
+            ]
+            + [{"le": "+Inf", "count": counts[-1]}],
+            "sum": sum_,
+            "count": total,
+        }
+
+
+class NullMetric:
+    """Shared do-nothing metric for the disabled fast path."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        """No-op."""
+        return None
+
+    def set(self, value: float) -> None:
+        """No-op."""
+        return None
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+        return None
+
+
+NULL_METRIC = NullMetric()
+"""The singleton handed out by the :mod:`repro.obs` facade while
+instrumentation is disabled."""
+
+_Key = tuple[str, str, tuple[tuple[str, str], ...]]
+
+
+class MetricsRegistry:
+    """Lazily-creating, thread-safe home for every metric.
+
+    The same ``(name, labels)`` always returns the same instance;
+    asking for an existing name with a different metric kind raises,
+    so a counter cannot silently shadow a histogram.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty registry."""
+        self._lock = threading.Lock()
+        self._metrics: dict[_Key, Counter | Gauge | Histogram] = {}
+
+    def _get(
+        self, kind: str, name: str, labels: dict[str, str], factory
+    ) -> Counter | Gauge | Histogram:
+        """Fetch or create the metric for ``(kind, name, labels)``."""
+        _check_name(name)
+        for key in labels:
+            _check_name(key)
+        label_items = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        key = (kind, name, label_items)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                for other_kind, other_name, _ in self._metrics:
+                    if other_name == name and other_kind != kind:
+                        raise ValueError(
+                            f"metric {name!r} already registered as "
+                            f"{other_kind}, cannot re-register as {kind}"
+                        )
+                metric = factory(name, label_items)
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get(Counter.kind, name, labels, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        return self._get(Gauge.kind, name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use.
+
+        ``buckets`` only matters on first creation; later calls reuse
+        the existing edges.
+        """
+        return self._get(
+            Histogram.kind,
+            name,
+            labels,
+            lambda n, items: Histogram(n, items, buckets=buckets),
+        )
+
+    def collect(self) -> list[Counter | Gauge | Histogram]:
+        """Every registered metric, deterministically ordered."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise every metric as a JSON document."""
+        return json.dumps(
+            {"metrics": [m.as_dict() for m in self.collect()]}, indent=indent
+        )
+
+    def to_prometheus(self) -> str:
+        """Serialise in the Prometheus text exposition format (0.0.4).
+
+        Dots in names become underscores; histograms are exported as
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+        """
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for metric in self.collect():
+            prom = metric.name.replace(".", "_")
+            if prom not in seen_types:
+                seen_types.add(prom)
+                lines.append(f"# TYPE {prom} {metric.kind}")
+            label_str = _prom_labels(metric.labels)
+            if isinstance(metric, Histogram):
+                for le, count in metric.bucket_counts():
+                    le_str = "+Inf" if le == float("inf") else _prom_number(le)
+                    bucket_labels = _prom_labels(
+                        metric.labels + (("le", le_str),)
+                    )
+                    lines.append(f"{prom}_bucket{bucket_labels} {count}")
+                lines.append(f"{prom}_sum{label_str} {_prom_number(metric.sum)}")
+                lines.append(f"{prom}_count{label_str} {metric.count}")
+            else:
+                lines.append(f"{prom}{label_str} {_prom_number(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_labels(items: tuple[tuple[str, str], ...]) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when bare)."""
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _prom_number(value: float) -> str:
+    """Render a number the way Prometheus clients expect (no 1e+03)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _registry
+
+
+def reset_registry() -> None:
+    """Clear the default registry (tests and fresh profiling runs)."""
+    _registry.reset()
+
+
+def counter(name: str, **labels: str) -> Counter | NullMetric:
+    """Default-registry counter, or the shared no-op when disabled.
+
+    This is the call-site facade: instrumented library code calls
+    ``counter("streaming.abstain_total", reason=...).inc()`` and pays
+    only a flag check while observability is off.
+    """
+    if not tracing.is_enabled():
+        return NULL_METRIC
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge | NullMetric:
+    """Default-registry gauge, or the shared no-op when disabled."""
+    if not tracing.is_enabled():
+        return NULL_METRIC
+    return _registry.gauge(name, **labels)
+
+
+def histogram(
+    name: str,
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    **labels: str,
+) -> Histogram | NullMetric:
+    """Default-registry histogram, or the shared no-op when disabled."""
+    if not tracing.is_enabled():
+        return NULL_METRIC
+    return _registry.histogram(name, buckets, **labels)

@@ -1,0 +1,304 @@
+"""Zero-dependency tracing core: nested wall/CPU span trees.
+
+The realtime claim of the paper ("examines both spatial and temporal
+information in realtime") is only testable when every stage of the
+ingest → DSP → inference path can answer "how long did *you* take for
+this window?".  :func:`span` is that answer: a context manager that
+times the enclosed block with both ``perf_counter`` (wall clock) and
+``process_time`` (CPU), nests naturally — a span opened while another
+is active becomes its child — and hands finished root spans to a
+thread-safe in-process :class:`SpanCollector`.
+
+Instrumentation is **off by default**.  While disabled, :func:`span`
+returns a shared no-op object whose ``with`` protocol does nothing, so
+an instrumented hot path pays only a flag check and an empty context
+manager — the measured overhead contract is <2% on
+``StreamingIdentifier.identify`` (see ``tests/obs/test_overhead.py``).
+Enable explicitly with :func:`enable` (or export ``REPRO_OBS=1``
+before importing).
+
+Span naming convention (see DESIGN.md §9): dotted lowercase
+``subsystem.operation`` — ``dsp.music``, ``streaming.window``,
+``nn.forward``.  On exit every live span also observes its wall-clock
+duration into the ``<name>.latency_ms`` histogram of the default
+metrics registry, so the metrics export mirrors the trace without
+extra call-site code.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "SpanCollector",
+    "disable",
+    "enable",
+    "get_collector",
+    "is_enabled",
+    "render_span_tree",
+    "span",
+    "walk_spans",
+]
+
+_ENABLED = False
+
+_local = threading.local()
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region.
+
+    Attributes:
+        name: dotted stage name (``dsp.music``).
+        attrs: free-form call-site attributes (window index, tag id).
+        t_start_s: absolute start time (``time.time`` epoch seconds).
+        wall_ms: wall-clock duration; 0 until the span closes.
+        cpu_ms: CPU (process) time consumed; 0 until the span closes.
+        thread: name of the thread the span ran on.
+        children: spans opened (and closed) while this one was active.
+    """
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    t_start_s: float = 0.0
+    wall_ms: float = 0.0
+    cpu_ms: float = 0.0
+    thread: str = ""
+    children: list["Span"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready recursive representation."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "t_start_s": self.t_start_s,
+            "wall_ms": self.wall_ms,
+            "cpu_ms": self.cpu_ms,
+            "thread": self.thread,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+class SpanCollector:
+    """Thread-safe sink for finished root spans.
+
+    Child spans attach to their parent on the opening thread (no lock
+    needed: the parent is thread-local); only *root* spans cross the
+    lock into the shared list.  A bounded capacity keeps a long-running
+    service from accumulating spans without a consumer: past
+    ``max_roots`` new roots are counted in :attr:`dropped` instead of
+    stored.
+    """
+
+    def __init__(self, max_roots: int = 100_000) -> None:
+        """Create an empty collector holding at most ``max_roots`` roots."""
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self.max_roots = max_roots
+        self.dropped = 0
+
+    def add_root(self, s: Span) -> None:
+        """Store one finished root span (or count it as dropped)."""
+        with self._lock:
+            if len(self._roots) >= self.max_roots:
+                self.dropped += 1
+            else:
+                self._roots.append(s)
+
+    def snapshot(self) -> list[Span]:
+        """Current root spans without clearing them."""
+        with self._lock:
+            return list(self._roots)
+
+    def drain(self) -> list[Span]:
+        """Return all root spans and clear the collector."""
+        with self._lock:
+            roots, self._roots = self._roots, []
+            self.dropped = 0
+            return roots
+
+    def durations_by_name(self) -> dict[str, list[float]]:
+        """Wall-clock durations (ms) of every span, grouped by name.
+
+        Walks the whole tree, so nested stages (a ``dsp.music`` span
+        inside a ``dsp.frames.build`` span) are aggregated too.
+        """
+        by_name: dict[str, list[float]] = {}
+        for s in walk_spans(self.snapshot()):
+            by_name.setdefault(s.name, []).append(s.wall_ms)
+        return by_name
+
+
+_collector = SpanCollector()
+
+
+def get_collector() -> SpanCollector:
+    """The process-global span collector."""
+    return _collector
+
+
+def is_enabled() -> bool:
+    """Whether tracing/metrics instrumentation is currently armed."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Arm instrumentation: spans are recorded, metrics are live."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Disarm instrumentation; :func:`span` reverts to the no-op path."""
+    global _ENABLED
+    _ENABLED = False
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """No-op; returns itself so call sites can hold a handle."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """No-op."""
+        return None
+
+    def set(self, **attrs: object) -> None:
+        """Ignore attributes on the disabled path."""
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """An armed span: times the block and files itself in the tree."""
+
+    __slots__ = ("record", "_t0_wall", "_t0_cpu")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        """Prepare a span named ``name`` carrying ``attrs``."""
+        self.record = Span(
+            name=name, attrs=attrs, thread=threading.current_thread().name
+        )
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = _span_stack()
+        stack.append(self.record)
+        self.record.t_start_s = time.time()
+        self._t0_cpu = time.process_time()
+        self._t0_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        wall_ms = (time.perf_counter() - self._t0_wall) * 1e3
+        cpu_ms = (time.process_time() - self._t0_cpu) * 1e3
+        record = self.record
+        record.wall_ms = wall_ms
+        record.cpu_ms = cpu_ms
+        stack = _span_stack()
+        # Unwind to this span even if an inner block escaped via an
+        # exception without closing its own span.
+        while stack and stack[-1] is not record:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            _collector.add_root(record)
+        from repro.obs import metrics
+
+        metrics.get_registry().histogram(f"{record.name}.latency_ms").observe(
+            wall_ms
+        )
+        return None
+
+    def set(self, **attrs: object) -> None:
+        """Attach or update attributes on the open span."""
+        self.record.attrs.update(attrs)
+
+
+def _span_stack() -> list[Span]:
+    """This thread's stack of currently-open spans."""
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def span(name: str, **attrs: object) -> _LiveSpan | _NoopSpan:
+    """Time a block as a named span: ``with span("dsp.music"): ...``.
+
+    When instrumentation is disabled (the default) this returns a
+    shared no-op object — the call is a flag check plus an empty
+    ``with``, cheap enough for per-frame DSP hot paths.
+
+    Args:
+        name: dotted stage name (``subsystem.operation``).
+        **attrs: free-form attributes stored on the span.
+
+    Returns:
+        A context manager; when armed, its ``.record`` is the
+        :class:`Span` being built and ``.set(**attrs)`` adds
+        attributes mid-flight.
+    """
+    if not _ENABLED:
+        return _NOOP_SPAN
+    return _LiveSpan(name, dict(attrs))
+
+
+def walk_spans(roots: list[Span]) -> Iterator[Span]:
+    """Depth-first iteration over span trees (parents before children)."""
+    stack = list(reversed(roots))
+    while stack:
+        s = stack.pop()
+        yield s
+        stack.extend(reversed(s.children))
+
+
+def render_span_tree(roots: list[Span], max_depth: int = 12) -> str:
+    """ASCII rendering of span trees for terminal dumps.
+
+    Args:
+        roots: root spans (e.g. ``get_collector().drain()``).
+        max_depth: deepest level rendered; deeper spans are elided.
+
+    Returns:
+        One line per span: indentation, name, wall/CPU ms, attributes.
+    """
+    lines: list[str] = []
+
+    def _render(s: Span, depth: int) -> None:
+        if depth > max_depth:
+            return
+        attrs = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(s.attrs.items()))
+            if s.attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{s.name}  wall={s.wall_ms:.3f}ms "
+            f"cpu={s.cpu_ms:.3f}ms{attrs}"
+        )
+        for child in s.children:
+            _render(child, depth + 1)
+
+    for root in roots:
+        _render(root, 0)
+    return "\n".join(lines)
+
+
+if os.environ.get("REPRO_OBS", "").lower() in ("1", "true", "yes", "on"):
+    enable()

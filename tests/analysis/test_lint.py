@@ -77,6 +77,12 @@ BAD_EXAMPLES: dict[str, tuple[str, str]] = {
         '    """Average the thing.  No shape documented."""\n'
         "    return y\n",
     ),
+    "RPR009": (
+        "src/repro/module.py",
+        "class Widget:\n"
+        "    def act(self):\n"
+        "        return 1\n",
+    ),
 }
 
 GOOD_EXAMPLES: dict[str, tuple[str, str]] = {
@@ -136,6 +142,16 @@ GOOD_EXAMPLES: dict[str, tuple[str, str]] = {
         '    """\n'
         "    return y\n",
     ),
+    "RPR009": (
+        "src/repro/module.py",
+        "class Widget:\n"
+        '    """A documented widget."""\n'
+        "    def act(self):\n"
+        '        """Do the thing."""\n'
+        "        return 1\n"
+        "    def _helper(self):\n"
+        "        return 2\n",
+    ),
 }
 
 
@@ -184,7 +200,9 @@ def test_backward_without_forward_flagged():
     src = (
         "from repro.nn.module import Module\n"
         "class Odd(Module):\n"
+        '    """Half a layer."""\n'
         "    def backward(self, grad):\n"
+        '        """Backward half only."""\n'
         "        return grad\n"
     )
     assert codes(lint_source(src)) == ["RPR002"]
@@ -193,7 +211,9 @@ def test_backward_without_forward_flagged():
 def test_non_module_class_not_held_to_pairing():
     src = (
         "class Featurizer:\n"
+        '    """Not a Module."""\n'
         "    def forward(self, x):\n"
+        '        """Pass through."""\n'
         "        return x\n"
     )
     assert codes(lint_source(src)) == []
@@ -226,6 +246,40 @@ def test_print_allowed_in_scripts_examples_benchmarks():
     for prefix in ("scripts", "examples", "benchmarks"):
         assert codes(lint_source(src, path=f"{prefix}/tool.py")) == []
     assert codes(lint_source(src, path="src/repro/x.py")) == ["RPR007"]
+
+
+def test_docstring_rule_exempts_nested_and_private():
+    src = (
+        "def outer():\n"
+        '    """Documented."""\n'
+        "    def inner():\n"  # nested: not public API
+        "        return 1\n"
+        "    return inner\n"
+        "def _private():\n"
+        "    return 2\n"
+    )
+    assert codes(lint_source(src, path="src/repro/x.py")) == []
+
+
+def test_docstring_rule_exempts_property_setters():
+    src = (
+        "class Box:\n"
+        '    """A box."""\n'
+        "    @property\n"
+        "    def value(self):\n"
+        '        """The value."""\n'
+        "        return self._v\n"
+        "    @value.setter\n"
+        "    def value(self, v):\n"
+        "        self._v = v\n"
+    )
+    assert codes(lint_source(src, path="src/repro/x.py")) == []
+
+
+def test_docstring_rule_skips_tests_and_scripts():
+    src = "def test_something():\n    assert True\n"
+    for prefix in ("tests", "scripts", "examples", "benchmarks"):
+        assert codes(lint_source(src, path=f"{prefix}/t.py")) == []
 
 
 def test_parse_error_reported_as_rpr000():
@@ -325,7 +379,7 @@ def test_main_exit_codes(tmp_path, capsys):
 
 def test_main_json_format(tmp_path, capsys):
     bad = tmp_path / "bad.py"
-    bad.write_text("def f(x=[]):\n    return x\n")
+    bad.write_text('def f(x=[]):\n    """Doc."""\n    return x\n')
     assert main([str(bad), "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is False

@@ -1,0 +1,188 @@
+"""Metrics registry: counters/gauges/histograms and both export formats."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    counter,
+    gauge,
+    histogram,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hub.reads_merged_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x.total").inc(-1)
+
+    def test_same_name_same_labels_is_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("streaming.abstain_total", reason="dead_ports")
+        b = reg.counter("streaming.abstain_total", reason="dead_ports")
+        c = reg.counter("streaming.abstain_total", reason="low_margin")
+        assert a is b
+        assert a is not c
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("dsp.music.latency_ms")
+        with pytest.raises(ValueError):
+            reg.histogram("dsp.music.latency_ms")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("UPPER", "1leading", "spa ce", ""):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("hub.queue_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        h = Histogram("t.latency_ms", (), buckets=(1.0, 2.0, 5.0))
+        h.observe(2.0)  # le semantics: v <= edge
+        assert h.as_dict()["buckets"] == [
+            {"le": 1.0, "count": 0},
+            {"le": 2.0, "count": 1},
+            {"le": 5.0, "count": 0},
+            {"le": "+Inf", "count": 0},
+        ]
+
+    def test_above_last_edge_lands_in_inf(self):
+        h = Histogram("t.latency_ms", (), buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.as_dict()["buckets"][-1] == {"le": "+Inf", "count": 1}
+
+    def test_bucket_counts_are_cumulative(self):
+        h = Histogram("t.latency_ms", (), buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.7, 4.0, 99.0):
+            h.observe(v)
+        assert h.bucket_counts() == [
+            (1.0, 1),
+            (2.0, 3),
+            (5.0, 4),
+            (math.inf, 5),
+        ]
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.5 + 1.5 + 1.7 + 4.0 + 99.0)
+
+    def test_non_increasing_buckets_rejected(self):
+        for bad in ((), (2.0, 1.0), (1.0, 1.0)):
+            with pytest.raises(ValueError):
+                Histogram("t.latency_ms", (), buckets=bad)
+
+    def test_default_buckets_span_us_to_10s(self):
+        assert DEFAULT_LATENCY_BUCKETS_MS[0] == 0.05
+        assert DEFAULT_LATENCY_BUCKETS_MS[-1] == 10000.0
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(
+            DEFAULT_LATENCY_BUCKETS_MS
+        )
+
+
+class TestExports:
+    def _loaded_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("ingest.reads_total", source="concat").inc(5)
+        reg.gauge("hub.live_views").set(3)
+        h = reg.histogram("dsp.music.latency_ms", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(4.0)
+        h.observe(40.0)
+        return reg
+
+    def test_json_export_golden(self):
+        doc = json.loads(self._loaded_registry().to_json())
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        assert by_name["ingest.reads_total"] == {
+            "name": "ingest.reads_total",
+            "kind": "counter",
+            "labels": {"source": "concat"},
+            "value": 5.0,
+        }
+        assert by_name["hub.live_views"]["kind"] == "gauge"
+        assert by_name["hub.live_views"]["value"] == 3.0
+        hist = by_name["dsp.music.latency_ms"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(44.5)
+        assert hist["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": 10.0, "count": 1},
+            {"le": "+Inf", "count": 1},
+        ]
+
+    def test_prometheus_export_golden(self):
+        text = self._loaded_registry().to_prometheus()
+        expected = (
+            "# TYPE ingest_reads_total counter\n"
+            'ingest_reads_total{source="concat"} 5\n'
+            "# TYPE hub_live_views gauge\n"
+            "hub_live_views 3\n"
+            "# TYPE dsp_music_latency_ms histogram\n"
+            'dsp_music_latency_ms_bucket{le="1"} 1\n'
+            'dsp_music_latency_ms_bucket{le="10"} 2\n'
+            'dsp_music_latency_ms_bucket{le="+Inf"} 3\n'
+            "dsp_music_latency_ms_sum 44.5\n"
+            "dsp_music_latency_ms_count 3\n"
+        )
+        assert text == expected
+
+    def test_empty_registry_exports_empty(self):
+        reg = MetricsRegistry()
+        assert json.loads(reg.to_json()) == {"metrics": []}
+        assert reg.to_prometheus() == ""
+
+    def test_labels_sorted_deterministically(self):
+        reg = MetricsRegistry()
+        reg.counter("x.total", zeta="1", alpha="2").inc()
+        line = reg.to_prometheus().splitlines()[-1]
+        assert line == 'x_total{alpha="2",zeta="1"} 1'
+
+
+class TestFacades:
+    def test_disabled_facades_return_null_metric(self):
+        assert not obs.is_enabled()
+        assert counter("a.total") is NULL_METRIC
+        assert gauge("a.depth") is NULL_METRIC
+        assert histogram("a.latency_ms") is NULL_METRIC
+        counter("a.total").inc(10)
+        histogram("a.latency_ms").observe(1.0)
+        assert obs.get_registry().collect() == []
+
+    def test_enabled_facades_hit_default_registry(self):
+        obs.enable()
+        counter("streaming.windows_total").inc(2)
+        (metric,) = obs.get_registry().collect()
+        assert metric.name == "streaming.windows_total"
+        assert metric.value == 2.0
+
+    def test_null_metric_accepts_full_interface(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.dec()
+        NULL_METRIC.set(3)
+        NULL_METRIC.observe(0.1)

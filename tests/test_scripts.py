@@ -1,4 +1,4 @@
-"""The experiments runner script's plumbing (no heavy experiments)."""
+"""The repo scripts' plumbing (no heavy experiments)."""
 
 from __future__ import annotations
 
@@ -9,15 +9,19 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 
 
-def load_runner():
+def load_script(name: str):
     spec = importlib.util.spec_from_file_location(
-        "run_experiments", REPO / "scripts" / "run_experiments.py"
+        name, REPO / "scripts" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     assert spec.loader is not None
-    sys.modules["run_experiments"] = module
+    sys.modules[name] = module
     spec.loader.exec_module(module)
     return module
+
+
+def load_runner():
+    return load_script("run_experiments")
 
 
 class TestRunnerScript:
@@ -48,3 +52,30 @@ class TestRunnerScript:
         out = tmp_path / "EXPERIMENTS.md"
         runner._write(out, {})
         assert "run_experiments.py" in out.read_text()
+
+
+class TestApiDocsGenerator:
+    def test_committed_api_md_is_current(self, capsys):
+        """The same invariant CI's `gen_api_docs.py --check` enforces."""
+        gen = load_script("gen_api_docs")
+        assert gen.main(["--check"]) == 0, "docs/API.md is stale"
+
+    def test_every_public_module_is_documented(self):
+        gen = load_script("gen_api_docs")
+        text = (REPO / "docs" / "API.md").read_text()
+        modules = gen.iter_public_modules()
+        assert "repro.obs" in modules
+        for name in modules:
+            assert f"## `{name}`" in text
+
+    def test_generator_is_deterministic(self):
+        gen = load_script("gen_api_docs")
+        assert gen.generate() == gen.generate()
+
+    def test_check_flags_stale_output(self, tmp_path, monkeypatch, capsys):
+        gen = load_script("gen_api_docs")
+        stale = tmp_path / "API.md"
+        stale.write_text("# out of date\n")
+        monkeypatch.setattr(gen, "OUT_PATH", stale)
+        assert gen.main(["--check"]) == 1
+        assert "stale" in capsys.readouterr().err
