@@ -5,7 +5,9 @@ stages (``nn.forward`` / ``nn.backward``).  When a profile needs to
 know *which layer* inside those stages is hot, :func:`nn_layer_spans`
 temporarily wraps ``forward``/``backward`` of every imported
 :class:`repro.nn.module.Module` subclass in a span named
-``nn.<ClassName>.forward`` — the same subclass-walking patch strategy
+``nn.<classname>.forward`` (class name lowercased so the span's
+auto-registered ``.latency_ms`` histogram satisfies the metric naming
+convention) — the same subclass-walking patch strategy
 as :func:`repro.analysis.sanitize.anomaly_detection`, and with the
 same contract: process-global, restored on exit, nested activations
 are no-ops.
@@ -18,6 +20,7 @@ instead of always-on instrumentation.
 from __future__ import annotations
 
 import functools
+import re
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Iterator
 
@@ -50,6 +53,18 @@ def _walk_module_classes() -> list[type["Module"]]:
     return classes
 
 
+def _span_component(class_name: str) -> str:
+    """Lowercase a class name into a metric-safe span component.
+
+    Span names feed the auto-registered ``<name>.latency_ms``
+    histogram, whose name must match ``[a-z][a-z0-9_.]*`` — so
+    ``Dense`` becomes ``dense`` and any character outside that
+    alphabet becomes ``_``.
+    """
+    sanitized = re.sub(r"[^a-z0-9_]", "_", class_name.lower())
+    return sanitized or "module"
+
+
 def _wrap(orig: Callable, name: str) -> Callable:
     """Wrap one method so each call runs inside a named span."""
 
@@ -63,7 +78,7 @@ def _wrap(orig: Callable, name: str) -> Callable:
 
 @contextmanager
 def nn_layer_spans() -> Iterator[None]:
-    """Arm per-layer ``nn.<ClassName>.forward/backward`` spans.
+    """Arm per-layer ``nn.<classname>.forward/backward`` spans.
 
     Only classes already imported when the context manager arms are
     wrapped; import your model first.  Nested activations are no-ops —
@@ -81,7 +96,9 @@ def nn_layer_spans() -> Iterator[None]:
                 if method not in cls.__dict__:
                     continue
                 orig = cls.__dict__[method]
-                wrapped = _wrap(orig, f"nn.{cls.__name__}.{method}")
+                wrapped = _wrap(
+                    orig, f"nn.{_span_component(cls.__name__)}.{method}"
+                )
                 setattr(cls, method, wrapped)
                 undo.append(lambda c=cls, m=method, o=orig: setattr(c, m, o))
         yield

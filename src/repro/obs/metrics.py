@@ -348,14 +348,28 @@ class MetricsRegistry:
 
         Dots in names become underscores; histograms are exported as
         cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+        Label values are escaped per the spec, and two registry names
+        that collide after dot-to-underscore mapping (``a.b`` vs
+        ``a_b``) raise :class:`ValueError` rather than emitting a
+        series under the wrong ``# TYPE``.
         """
         lines: list[str] = []
-        seen_types: set[str] = set()
+        seen: dict[str, str] = {}  # prom name -> registry name
         for metric in self.collect():
             prom = metric.name.replace(".", "_")
-            if prom not in seen_types:
-                seen_types.add(prom)
+            prior = seen.get(prom)
+            if prior is None:
+                seen[prom] = metric.name
                 lines.append(f"# TYPE {prom} {metric.kind}")
+            elif prior != metric.name:
+                # 'a.b' and 'a_b' both map to 'a_b'; exporting the
+                # second under the first one's # TYPE line would
+                # mislabel the series, so fail loudly instead.
+                raise ValueError(
+                    f"prometheus name {prom!r} collides: registry "
+                    f"names {prior!r} and {metric.name!r} both map "
+                    "to it after dot-to-underscore conversion"
+                )
             label_str = _prom_labels(metric.labels)
             if isinstance(metric, Histogram):
                 for le, count in metric.bucket_counts():
@@ -371,11 +385,18 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format spec."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(items: tuple[tuple[str, str], ...]) -> str:
     """Render a label set as ``{k="v",...}`` (empty string when bare)."""
     if not items:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in items)
     return "{" + body + "}"
 
 

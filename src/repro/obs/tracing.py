@@ -22,7 +22,10 @@ Span naming convention (see DESIGN.md §9): dotted lowercase
 ``nn.forward``.  On exit every live span also observes its wall-clock
 duration into the ``<name>.latency_ms`` histogram of the default
 metrics registry, so the metrics export mirrors the trace without
-extra call-site code.
+extra call-site code.  That bookkeeping is best-effort: a span name
+the registry rejects (or a metric-kind clash) increments the
+``obs.dropped_observations_total`` counter instead of raising into
+the instrumented operation.
 """
 
 from __future__ import annotations
@@ -219,14 +222,34 @@ class _LiveSpan:
             _collector.add_root(record)
         from repro.obs import metrics
 
-        metrics.get_registry().histogram(f"{record.name}.latency_ms").observe(
-            wall_ms
-        )
+        # Telemetry must never abort the instrumented operation: a bad
+        # span name or a kind clash in the registry is counted as a
+        # dropped observation, not raised into application code.
+        try:
+            metrics.get_registry().histogram(
+                f"{record.name}.latency_ms"
+            ).observe(wall_ms)
+        except Exception:
+            try:
+                metrics.get_registry().counter(
+                    "obs.dropped_observations_total"
+                ).inc()
+            except Exception:  # pragma: no cover - registry unusable
+                _note_unrecorded_drop()
         return None
 
     def set(self, **attrs: object) -> None:
         """Attach or update attributes on the open span."""
         self.record.attrs.update(attrs)
+
+
+_unrecorded_drops = 0
+
+
+def _note_unrecorded_drop() -> None:
+    """Last-resort tally when even the dropped-observations counter fails."""
+    global _unrecorded_drops
+    _unrecorded_drops += 1
 
 
 def _span_stack() -> list[Span]:

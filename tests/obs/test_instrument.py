@@ -1,0 +1,79 @@
+"""Per-layer nn spans: metric-safe names, crash-proof span exit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.obs.instrument import _span_component, nn_layer_spans
+from repro.obs.tracing import span
+
+
+def _forward_dense() -> None:
+    from repro.nn.layers import Dense
+
+    rng = np.random.default_rng(0)
+    layer = Dense(4, 3, rng)
+    layer.forward(rng.normal(size=(2, 4)))
+
+
+class TestSpanComponent:
+    def test_lowercases_class_names(self):
+        assert _span_component("Dense") == "dense"
+        assert _span_component("ReLU") == "relu"
+
+    def test_sanitizes_non_metric_characters(self):
+        assert _span_component("Bi-LSTM") == "bi_lstm"
+        assert _span_component("") == "module"
+
+
+class TestNnLayerSpans:
+    def test_enabled_forward_records_span_and_histogram(self):
+        # Regression: capitalized class names in span names used to
+        # make the auto-histogram registration raise ValueError and
+        # crash every wrapped forward/backward call.
+        obs.enable()
+        with nn_layer_spans():
+            _forward_dense()
+        names = [s.name for s in obs.walk_spans(obs.get_collector().drain())]
+        assert "nn.dense.forward" in names
+        metrics = {m.name: m for m in obs.get_registry().collect()}
+        hist = metrics["nn.dense.forward.latency_ms"]
+        assert hist.kind == "histogram"
+        assert hist.count == 1
+
+    def test_disabled_is_noop(self):
+        assert not obs.is_enabled()
+        with nn_layer_spans():
+            _forward_dense()
+        assert obs.get_collector().snapshot() == []
+        assert obs.get_registry().collect() == []
+
+    def test_unwraps_on_exit(self):
+        from repro.nn.layers import Dense
+
+        obs.enable()
+        orig = Dense.__dict__["forward"]
+        with nn_layer_spans():
+            assert Dense.__dict__["forward"] is not orig
+        assert Dense.__dict__["forward"] is orig
+
+
+class TestSpanExitGuard:
+    def test_metric_clash_does_not_crash_instrumented_code(self):
+        # A counter squatting on the span's auto-histogram name makes
+        # the registry raise a kind clash; the span must swallow it
+        # and count a dropped observation instead.
+        obs.enable()
+        obs.get_registry().counter("clashing.stage.latency_ms").inc()
+        with span("clashing.stage"):
+            pass
+        metrics = {m.name: m for m in obs.get_registry().collect()}
+        assert metrics["obs.dropped_observations_total"].value == 1.0
+
+    def test_invalid_span_name_does_not_crash(self):
+        obs.enable()
+        with span("Not A Valid Metric Name"):
+            pass
+        metrics = {m.name: m for m in obs.get_registry().collect()}
+        assert metrics["obs.dropped_observations_total"].value == 1.0

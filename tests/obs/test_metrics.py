@@ -163,6 +163,31 @@ class TestExports:
         line = reg.to_prometheus().splitlines()[-1]
         assert line == 'x_total{alpha="2",zeta="1"} 1'
 
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "streaming.abstain_total", reason='tag "A1\\B2"\nlost'
+        ).inc()
+        line = reg.to_prometheus().splitlines()[-1]
+        assert line == (
+            'streaming_abstain_total{reason="tag \\"A1\\\\B2\\"\\nlost"} 1'
+        )
+
+    def test_post_mapping_name_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.gauge("a_b").set(1)
+        with pytest.raises(ValueError, match="collides"):
+            reg.to_prometheus()
+
+    def test_same_name_different_labels_is_not_a_collision(self):
+        reg = MetricsRegistry()
+        reg.counter("a.total", k="1").inc()
+        reg.counter("a.total", k="2").inc()
+        text = reg.to_prometheus()
+        assert text.count("# TYPE a_total counter") == 1
+        assert text.count("a_total{") == 2
+
 
 class TestFacades:
     def test_disabled_facades_return_null_metric(self):
