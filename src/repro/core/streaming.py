@@ -105,17 +105,30 @@ class StreamingIdentifier:
         otherwise.  Only a log too short to contain a single complete
         window produces an empty list.
 
+        The log is sorted by timestamp once and every window becomes a
+        ``searchsorted`` slice of that order (instead of one boolean
+        scan of all reads per window); all classifiable windows are
+        featurised and scored through a *single* batched
+        ``predict_proba`` call.
+
         Returns:
             Decisions in time order (possibly empty for a short log).
 
         Raises:
             RuntimeError: when the pipeline is not fitted.
+            ValueError: on a non-positive ``window_s`` or ``hop_s``
+                (a zero or negative hop would never advance the
+                window).
         """
         if self.pipeline.model is None:
             raise RuntimeError("pipeline not fitted")
+        if self.window_s is None or self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.hop_s is not None and self.hop_s <= 0:
+            raise ValueError("hop_s must be positive")
+        hop = self.window_s if self.hop_s is None else self.hop_s
         if log.n_reads == 0:
             return []
-        hop = self.hop_s or self.window_s
         dwell = log.meta.dwell_s
         n_frames = max(1, int(round(self.window_s / dwell)))
 
@@ -125,52 +138,80 @@ class StreamingIdentifier:
                 if self.calibrator is not None
                 else uncalibrated(log)
             )
-            t0 = np.floor(float(log.timestamp_s.min()) / dwell) * dwell
+            if np.all(log.timestamp_s[1:] >= log.timestamp_s[:-1]):
+                sorted_log, psi_sorted = log, psi_full
+            else:
+                order = np.argsort(log.timestamp_s, kind="stable")
+                sorted_log = log.take(order)
+                psi_sorted = psi_full[order]
+            ts = sorted_log.timestamp_s
+            t0 = np.floor(float(ts[0]) / dwell) * dwell
             # A window is complete once its final dwell has started.
-            t_end = float(log.timestamp_s.max()) + dwell
-            decisions: list[WindowDecision] = []
+            t_end = float(ts[-1]) + dwell
+            starts: list[float] = []
             start = t0
             while start + self.window_s <= t_end + 1e-9:
-                mask = (log.timestamp_s >= start) & (
-                    log.timestamp_s < start + self.window_s
-                )
-                with span("streaming.window", t_start_s=float(start)):
-                    decision = self._decide(
-                        log, psi_full, mask, float(start), n_frames
-                    )
-                counter("streaming.windows_total").inc()
-                decisions.append(decision)
+                starts.append(float(start))
                 start += hop
-            identify_span.set(windows=len(decisions))
-        return decisions
+            if not starts:
+                identify_span.set(windows=0)
+                return []
+            starts_arr = np.asarray(starts, dtype=np.float64)
+            lo = np.searchsorted(ts, starts_arr, side="left")
+            hi = np.searchsorted(ts, starts_arr + self.window_s, side="left")
 
-    def _decide(
-        self,
-        log: ReadLog,
-        psi_full: np.ndarray,
-        mask: np.ndarray,
-        start: float,
-        n_frames: int,
+            decisions: list[WindowDecision | None] = [None] * len(starts)
+            pending: list[tuple[int, float, int]] = []
+            samples = []
+            for i, (w_start, w_lo, w_hi) in enumerate(zip(starts, lo, hi)):
+                n_reads = int(w_hi - w_lo)
+                with span("streaming.window", t_start_s=w_start):
+                    if n_reads < self.min_reads:
+                        decisions[i] = self._abstain(
+                            w_start, w_start + self.window_s, n_reads,
+                            REASON_TOO_FEW_READS,
+                        )
+                    else:
+                        window_log = sorted_log.take(slice(int(w_lo), int(w_hi)))
+                        live_ports = int(window_log.antenna_liveness().sum())
+                        if live_ports < self.min_live_ports:
+                            decisions[i] = self._abstain(
+                                w_start, w_start + self.window_s, n_reads,
+                                REASON_DEAD_PORTS,
+                            )
+                        else:
+                            samples.append(
+                                self.featurizer.transform(
+                                    window_log,
+                                    psi_sorted[w_lo:w_hi],
+                                    n_frames=n_frames,
+                                )
+                            )
+                            pending.append((i, w_start, n_reads))
+                counter("streaming.windows_total").inc()
+
+            if pending:
+                dataset = ActivityDataset(
+                    samples=samples, labels=["?"] * len(samples)
+                )
+                with span("streaming.predict", windows=len(pending)):
+                    probas = self.pipeline.predict_proba(dataset)
+                for (i, w_start, n_reads), proba in zip(pending, probas):
+                    decisions[i] = self._score(
+                        w_start, n_reads, np.asarray(proba)
+                    )
+            identify_span.set(windows=len(decisions))
+        return [d for d in decisions if d is not None]
+
+    def _score(
+        self, start: float, n_reads: int, proba: np.ndarray
     ) -> WindowDecision:
-        """One decision for the window selected by ``mask``."""
-        n_reads = int(mask.sum())
+        """Turn one window's class probabilities into a decision."""
         end = start + self.window_s
-        if n_reads < self.min_reads:
-            return self._abstain(start, end, n_reads, REASON_TOO_FEW_READS)
-        window_log = log.select(mask)
-        live_ports = int(window_log.antenna_liveness().sum())
-        if live_ports < self.min_live_ports:
-            return self._abstain(start, end, n_reads, REASON_DEAD_PORTS)
-        psi = psi_full[mask]
-        frames = self.featurizer.transform(window_log, psi, n_frames=n_frames)
-        dataset = ActivityDataset(samples=[frames], labels=["?"])
-        proba = self.pipeline.predict_proba(dataset)[0]
         best = int(proba.argmax())
         confidence = float(proba[best])
         if confidence < self.min_confidence:
-            return self._abstain(
-                start, end, n_reads, REASON_LOW_CONFIDENCE
-            )
+            return self._abstain(start, end, n_reads, REASON_LOW_CONFIDENCE)
         counter("streaming.decisions_total").inc()
         return WindowDecision(
             t_start_s=start,

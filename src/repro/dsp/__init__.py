@@ -14,6 +14,7 @@ from repro.dsp.correlation import (
     forward_backward,
     sample_covariance,
     spatial_covariance,
+    spatial_covariance_stack,
 )
 from repro.dsp.doppler import DopplerFeaturizer, doppler_from_phases, dwell_doppler
 from repro.dsp.features import (
@@ -40,13 +41,23 @@ from repro.dsp.localization import (
 from repro.dsp.music import (
     DEFAULT_ANGLES_DEG,
     PHASE_MULTIPLIER,
+    STEERING_CACHE_MAXSIZE,
     MusicResult,
+    cached_steering_matrix,
+    clear_steering_cache,
     estimate_n_sources,
     masked_pseudospectrum,
     music_pseudospectrum,
+    music_pseudospectrum_batch,
+    steering_cache_info,
     steering_matrix,
 )
-from repro.dsp.periodogram import periodogram_psd, spatial_periodogram, total_power
+from repro.dsp.periodogram import (
+    periodogram_psd,
+    spatial_periodogram,
+    spatial_periodogram_batch,
+    total_power,
+)
 from repro.dsp.snapshots import TagSnapshots, build_snapshots
 
 __all__ = [
@@ -63,13 +74,16 @@ __all__ = [
     "PhaseCalibrator",
     "PhaseFeaturizer",
     "RssiFeaturizer",
+    "STEERING_CACHE_MAXSIZE",
     "TagSnapshots",
     "bearing_ray",
     "build_snapshots",
     "build_spectrum_frames",
+    "cached_steering_matrix",
     "circular_distance",
     "circular_mean",
     "circular_median",
+    "clear_steering_cache",
     "diagonal_load",
     "doppler_from_phases",
     "dwell_doppler",
@@ -80,12 +94,16 @@ __all__ = [
     "forward_backward",
     "masked_pseudospectrum",
     "music_pseudospectrum",
+    "music_pseudospectrum_batch",
     "normalize_pseudospectrum",
     "periodogram_psd",
     "power_to_db",
     "sample_covariance",
     "spatial_covariance",
+    "spatial_covariance_stack",
     "spatial_periodogram",
+    "spatial_periodogram_batch",
+    "steering_cache_info",
     "steering_matrix",
     "total_power",
     "triangulate",

@@ -37,6 +37,8 @@ def sample_covariance(snapshots: np.ndarray, valid: np.ndarray | None = None) ->
             x = x[complete]
         elif not valid.any():
             raise ValueError("no valid snapshots")
+        else:
+            x = np.where(valid, x, 0.0)
     if x.shape[0] == 0:
         raise ValueError("no valid snapshots")
     # R[i, j] = E[x_i * conj(x_j)] — rows of ``x`` are snapshots.
@@ -72,3 +74,59 @@ def spatial_covariance(
     if use_forward_backward:
         r = forward_backward(r)
     return diagonal_load(r, loading)
+
+
+def spatial_covariance_stack(
+    snapshots: np.ndarray,
+    valid: np.ndarray | None = None,
+    use_forward_backward: bool = True,
+    loading: float = 1e-6,
+) -> np.ndarray:
+    """:func:`spatial_covariance` for a whole stack of dwells at once.
+
+    The per-window snapshot selection (drop incomplete rows when a
+    complete one exists, zero-fill the gaps otherwise) becomes a 0/1
+    row weighting, and the covariance products, forward-backward
+    averaging and diagonal loading all run as one stacked matmul chain
+    instead of W separate calls.  A zero-weighted row contributes
+    exactly nothing to the Gram product, so each window's matrix equals
+    the scalar pipeline's output.
+
+    Args:
+        snapshots: ``(W, K, N)`` complex snapshots.
+        valid: optional ``(W, K, N)`` observation mask.
+        use_forward_backward: apply FB averaging (ULA de-correlation).
+        loading: diagonal loading level.
+
+    Returns:
+        ``(W, N, N)`` stack of Hermitian covariances.
+
+    Raises:
+        ValueError: on a non-3-D stack or a window with no observed
+            snapshot at all.
+    """
+    x = np.asarray(snapshots, dtype=np.complex128)
+    if x.ndim != 3:
+        raise ValueError("snapshots must be (W, K, N)")
+    n_windows, _n_rounds, n = x.shape
+    if n_windows == 0:
+        return np.zeros((0, n, n), dtype=np.complex128)
+    if valid is not None:
+        if valid.shape != x.shape:
+            raise ValueError("valid must match snapshots")
+        complete = valid.all(axis=2)  # (W, K)
+        has_complete = complete.any(axis=1)
+        if not (has_complete | valid.any(axis=(1, 2))).all():
+            raise ValueError("no valid snapshots in some window")
+        weights = np.where(has_complete[:, None], complete, True)
+        x = np.where(valid, x, 0.0)
+    else:
+        weights = np.ones(x.shape[:2], dtype=bool)
+    xw = x * weights[:, :, None]
+    counts = weights.sum(axis=1).astype(np.float64)
+    r = np.matmul(xw.transpose(0, 2, 1), xw.conj()) / counts[:, None, None]
+    if use_forward_backward:
+        j = np.eye(n)[::-1]
+        r = 0.5 * (r + j @ r.conj() @ j)
+    trace = np.trace(r, axis1=-2, axis2=-1).real
+    return r + np.eye(n) * (loading * trace / n)[:, None, None]

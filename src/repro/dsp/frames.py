@@ -16,13 +16,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dsp.correlation import spatial_covariance
+from repro.dsp.correlation import spatial_covariance_stack
 from repro.dsp.music import (
     DEFAULT_ANGLES_DEG,
     masked_pseudospectrum,
-    music_pseudospectrum,
+    music_pseudospectrum_batch,
 )
-from repro.dsp.periodogram import spatial_periodogram
+from repro.dsp.periodogram import spatial_periodogram_batch
 from repro.dsp.snapshots import TagSnapshots, build_snapshots
 from repro.hardware.llrp import ReadLog
 from repro.obs.tracing import span
@@ -181,41 +181,76 @@ def _build_tag_frames(
     period: np.ndarray | None,
 ) -> None:
     """Fill the per-tag frame tensors in place (split out of the public
-    entry point so the span covers exactly the assembly work)."""
+    entry point so the span covers exactly the assembly work).
+
+    Every valid ``(tag, frame)`` dwell of the whole sample goes into
+    *one* stacked batch — one covariance build, one stacked
+    eigendecomposition, one stacked FFT — instead of a Python loop of
+    per-frame DSP calls; invalid frames then repeat the previous frame
+    exactly as before.
+    """
     frames = snapshot_sets[0].n_frames
+    entries: list[tuple[int, int]] = []
+    z_rows, valid_rows, wavelengths = [], [], []
     for k, snaps in enumerate(snapshot_sets):
         for f in range(frames):
-            if not snaps.frame_valid(f):
+            if snaps.frame_valid(f):
+                entries.append((k, f))
+                z_rows.append(snaps.z[f])
+                valid_rows.append(snaps.valid[f])
+                wavelengths.append(float(snaps.wavelength_m[f]))
+
+    spectra: np.ndarray | None = None
+    powers: np.ndarray | None = None
+    if entries:
+        z_stack = np.stack(z_rows)
+        v_stack = np.stack(valid_rows)
+        if period is not None:
+            powers = power_to_db(
+                spatial_periodogram_batch(
+                    z_stack, v_stack, liveness=None if healthy else live
+                )
+            )
+        if pseudo is not None and healthy:
+            covs = spatial_covariance_stack(z_stack, v_stack)
+            results = music_pseudospectrum_batch(
+                covs,
+                spacing_m=log.meta.spacing_m,
+                wavelength_m=np.asarray(wavelengths),
+                angles_deg=grid,
+            )
+            spectra = np.stack(
+                [normalize_pseudospectrum(r.spectrum) for r in results]
+            )
+        elif pseudo is not None and can_aoa:
+            spectra = np.stack(
+                [
+                    normalize_pseudospectrum(
+                        masked_pseudospectrum(
+                            z_rows[i],
+                            valid_rows[i],
+                            live,
+                            spacing_m=log.meta.spacing_m,
+                            wavelength_m=wavelengths[i],
+                            angles_deg=grid,
+                        ).spectrum
+                    )
+                    for i in range(len(entries))
+                ]
+            )
+
+    position = {entry: i for i, entry in enumerate(entries)}
+    for k in range(len(snapshot_sets)):
+        for f in range(frames):
+            i = position.get((k, f))
+            if i is None:
                 if f > 0:
                     if pseudo is not None:
                         pseudo[f, k] = pseudo[f - 1, k]
                     if period is not None:
                         period[f, k] = period[f - 1, k]
                 continue
-            z, valid = snaps.z[f], snaps.valid[f]
-            if pseudo is not None:
-                if healthy:
-                    cov = spatial_covariance(z, valid)
-                    result = music_pseudospectrum(
-                        cov,
-                        spacing_m=log.meta.spacing_m,
-                        wavelength_m=float(snaps.wavelength_m[f]),
-                        angles_deg=grid,
-                    )
-                    pseudo[f, k] = normalize_pseudospectrum(result.spectrum)
-                elif can_aoa:
-                    result = masked_pseudospectrum(
-                        z,
-                        valid,
-                        live,
-                        spacing_m=log.meta.spacing_m,
-                        wavelength_m=float(snaps.wavelength_m[f]),
-                        angles_deg=grid,
-                    )
-                    pseudo[f, k] = normalize_pseudospectrum(result.spectrum)
-                elif f > 0:
-                    pseudo[f, k] = pseudo[f - 1, k]
-            if period is not None:
-                period[f, k] = power_to_db(
-                    spatial_periodogram(z, valid, liveness=None if healthy else live)
-                )
+            if pseudo is not None and spectra is not None:
+                pseudo[f, k] = spectra[i]
+            if period is not None and powers is not None:
+                period[f, k] = powers[i]

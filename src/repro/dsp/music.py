@@ -15,6 +15,7 @@ wavelength design point.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,17 @@ PHASE_MULTIPLIER = 4.0
 
 DEFAULT_ANGLES_DEG = np.arange(0.5, 180.5, 1.0)
 """The paper's 180-point angle grid."""
+
+STEERING_CACHE_MAXSIZE = 256
+"""Upper bound on cached steering matrices (LRU eviction beyond it).
+
+A session touches one angle grid, one array geometry and one channel
+table (~50 carriers), plus the occasional degraded-subarray layout, so
+256 entries hold every matrix a real deployment ever asks for while
+keeping worst-case memory at a few hundred 180xN complex matrices.
+"""
+
+_steering_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
 
 def steering_matrix(
@@ -71,8 +83,93 @@ def steering_matrix(
     return np.exp(+1j * idx * per_element[None, :])
 
 
+def _steering_key(
+    angles_deg: np.ndarray,
+    n_antennas: int,
+    spacing_m: float,
+    wavelength_m: float,
+    phase_multiplier: float,
+    element_indices: np.ndarray | None,
+) -> tuple:
+    grid = np.ascontiguousarray(angles_deg, dtype=np.float64)
+    elements = (
+        None
+        if element_indices is None
+        else np.ascontiguousarray(element_indices, dtype=np.float64).tobytes()
+    )
+    return (
+        grid.tobytes(),
+        int(n_antennas),
+        float(spacing_m),
+        float(wavelength_m),
+        float(phase_multiplier),
+        elements,
+    )
+
+
+def cached_steering_matrix(
+    angles_deg: np.ndarray,
+    n_antennas: int,
+    spacing_m: float,
+    wavelength_m: float,
+    phase_multiplier: float = PHASE_MULTIPLIER,
+    element_indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Memoised :func:`steering_matrix` (bounded LRU, read-only result).
+
+    The hot path evaluates the same ``(grid, geometry, carrier)``
+    combination for every frame of every window — the matrix only
+    depends on the dwell's carrier, not on the data — so the 180xN
+    complex-exponential build is paid once per distinct key instead of
+    once per frame.  The cache is bounded at
+    :data:`STEERING_CACHE_MAXSIZE` entries with least-recently-used
+    eviction, so adversarial inputs (randomised grids, sweeping
+    carriers) cannot grow it without bound.
+
+    Returns:
+        The same ``(N, A)`` complex matrix :func:`steering_matrix`
+        produces, marked read-only because it is shared across callers.
+    """
+    key = _steering_key(
+        angles_deg, n_antennas, spacing_m, wavelength_m, phase_multiplier,
+        element_indices,
+    )
+    hit = _steering_cache.get(key)
+    if hit is not None:
+        _steering_cache.move_to_end(key)
+        return hit
+    a = steering_matrix(
+        angles_deg, n_antennas, spacing_m, wavelength_m, phase_multiplier,
+        element_indices=element_indices,
+    )
+    a.setflags(write=False)
+    _steering_cache[key] = a
+    while len(_steering_cache) > STEERING_CACHE_MAXSIZE:
+        _steering_cache.popitem(last=False)
+    return a
+
+
+def steering_cache_info() -> dict[str, int]:
+    """Current size and capacity of the steering-matrix cache."""
+    return {
+        "size": len(_steering_cache),
+        "maxsize": STEERING_CACHE_MAXSIZE,
+    }
+
+
+def clear_steering_cache() -> None:
+    """Drop every cached steering matrix (tests and benchmarks)."""
+    _steering_cache.clear()
+
+
+DEFAULT_GAP_RATIO = 0.08
+"""Eigenvalue-gap threshold shared by the scalar and batched paths."""
+
+
 def estimate_n_sources(
-    eigenvalues: np.ndarray, max_sources: int | None = None, gap_ratio: float = 0.08
+    eigenvalues: np.ndarray,
+    max_sources: int | None = None,
+    gap_ratio: float = DEFAULT_GAP_RATIO,
 ) -> int:
     """Signal-subspace dimension from the eigenvalue profile.
 
@@ -108,13 +205,33 @@ class MusicResult:
     eigenvalues: np.ndarray
 
     def peaks(self, max_peaks: int = 5) -> list[tuple[float, float]]:
-        """Local maxima as ``(angle_deg, power)``, strongest first."""
-        s = self.spectrum
-        idx = [
-            i
-            for i in range(1, len(s) - 1)
-            if s[i] >= s[i - 1] and s[i] >= s[i + 1]
-        ]
+        """Local maxima as ``(angle_deg, power)``, strongest first.
+
+        A flat plateau (a run of equal values higher than both
+        neighbouring values) counts as *one* peak, reported at the
+        run's centroid index, and a maximum sitting on a grid endpoint
+        is reported too — the naive ``s[i-1] <= s[i] >= s[i+1]`` scan
+        would emit every plateau sample separately and could never see
+        an endpoint.
+        """
+        s = np.asarray(self.spectrum, dtype=np.float64)
+        n = s.size
+        if n == 0:
+            return []
+        # Run-length encode equal-value runs, then keep runs strictly
+        # above both neighbouring runs (a missing neighbour at a grid
+        # endpoint never disqualifies).
+        boundaries = np.flatnonzero(np.diff(s) != 0.0) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))  # exclusive
+        idx: list[int] = []
+        for lo, hi in zip(starts, ends):
+            value = s[lo]
+            if lo > 0 and s[lo - 1] >= value:
+                continue
+            if hi < n and s[hi] >= value:
+                continue
+            idx.append(int((lo + hi - 1) // 2))
         idx.sort(key=lambda i: -s[i])
         return [(float(self.angles_deg[i]), float(s[i])) for i in idx[:max_peaks]]
 
@@ -166,7 +283,7 @@ def music_pseudospectrum(
         m = max(1, min(m, r.shape[0] - 1))
         noise = eigvecs[:, m:]
 
-        a = steering_matrix(
+        a = cached_steering_matrix(
             grid, r.shape[0], spacing_m, wavelength_m, phase_multiplier,
             element_indices=element_indices,
         )
@@ -179,6 +296,95 @@ def music_pseudospectrum(
         n_sources=m,
         eigenvalues=eigvals,
     )
+
+
+def music_pseudospectrum_batch(
+    covariances: np.ndarray,
+    spacing_m: float,
+    wavelength_m: float | np.ndarray,
+    angles_deg: np.ndarray | None = None,
+    n_sources: int | np.ndarray | None = None,
+    phase_multiplier: float = PHASE_MULTIPLIER,
+    element_indices: np.ndarray | None = None,
+) -> list[MusicResult]:
+    """MUSIC pseudospectra for a whole stack of covariances at once.
+
+    Amortises the expensive per-frame work of
+    :func:`music_pseudospectrum` across a dwell batch: one stacked
+    ``np.linalg.eigh`` over the ``(W, N, N)`` covariances and one
+    steering-matrix cache lookup per distinct carrier, instead of W
+    separate LAPACK calls and W matrix rebuilds.  The per-window
+    results are numerically identical to calling the scalar function in
+    a loop (the same LAPACK kernel runs per matrix either way).
+
+    Args:
+        covariances: ``(W, N, N)`` stack of Hermitian covariances.
+        spacing_m: array element spacing (shared by the batch).
+        wavelength_m: carrier wavelength — a scalar, or ``(W,)`` per
+            window (frequency hopping changes the carrier per dwell).
+        angles_deg: evaluation grid shared by the batch.
+        n_sources: forced signal-subspace dimension — None (estimate
+            per window), a scalar, or ``(W,)`` per window.
+        phase_multiplier: see :func:`steering_matrix`.
+        element_indices: physical element positions (shared), for
+            covariances already shrunk to a degraded subarray.
+
+    Returns:
+        A list of W :class:`MusicResult` objects; each spectrum has
+        shape: ``(A,)`` for ``A`` grid angles.
+
+    Raises:
+        ValueError: for a non-``(W, N, N)`` stack or a wavelength /
+            ``n_sources`` array that does not match W.
+    """
+    r = np.asarray(covariances, dtype=np.complex128)
+    if r.ndim != 3 or r.shape[1] != r.shape[2]:
+        raise ValueError("covariances must be a (W, N, N) stack")
+    n_windows, n = r.shape[0], r.shape[1]
+    grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
+    wavelengths = np.broadcast_to(
+        np.asarray(wavelength_m, dtype=np.float64), (n_windows,)
+    )
+    forced = (
+        None
+        if n_sources is None
+        else np.broadcast_to(np.asarray(n_sources, dtype=np.int64), (n_windows,))
+    )
+
+    results: list[MusicResult] = []
+    if n_windows == 0:
+        return results
+    with span("dsp.music.batch", windows=n_windows, elements=n):
+        eigvals, eigvecs = np.linalg.eigh(r)
+        # eigh returns ascending order; the scalar path sorts descending.
+        eigvals = eigvals[:, ::-1].real
+        eigvecs = eigvecs[:, :, ::-1]
+        grid_f64 = np.asarray(grid, dtype=np.float64)
+        if forced is None:
+            # Vectorised estimate_n_sources: same sort-abs-threshold
+            # rule, one pass over the whole stack.
+            lam = np.sort(np.abs(eigvals), axis=1)[:, ::-1]
+            counts = np.sum(lam > DEFAULT_GAP_RATIO * lam[:, :1], axis=1)
+            estimated = np.clip(counts, 1, max(1, n - 1))
+        for w in range(n_windows):
+            m = int(forced[w]) if forced is not None else int(estimated[w])
+            m = max(1, min(m, n - 1))
+            noise = eigvecs[w][:, m:]
+            a = cached_steering_matrix(
+                grid, n, spacing_m, float(wavelengths[w]), phase_multiplier,
+                element_indices=element_indices,
+            )
+            proj = noise.conj().T @ a
+            denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=0), 1e-12)
+            results.append(
+                MusicResult(
+                    angles_deg=grid_f64,
+                    spectrum=1.0 / denom,
+                    n_sources=m,
+                    eigenvalues=eigvals[w],
+                )
+            )
+    return results
 
 
 def masked_pseudospectrum(

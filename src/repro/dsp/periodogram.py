@@ -49,7 +49,11 @@ def spatial_periodogram(
     Args:
         snapshots: ``(K, N)`` complex snapshots (rounds x antennas).
         valid: optional ``(K, N)`` observation mask; incomplete
-            snapshots are dropped when any complete one exists.
+            snapshots are dropped when any complete one exists.  When
+            *no* snapshot is complete (a degraded dwell), the invalid
+            entries of the surviving rows are zero-filled before the
+            transform — whatever values sit in unobserved slots are
+            measurement garbage and must not leak into the average.
         liveness: optional ``(N,)`` port-liveness mask for a degraded
             array.  Dead ports are excluded from the completeness
             check, forced to zero, and the power density is rescaled by
@@ -85,6 +89,8 @@ def spatial_periodogram(
                 x = x[complete]
             elif not valid.any():
                 raise ValueError("no valid snapshots")
+            else:
+                x = np.where(valid, x, 0.0)
         if x.shape[0] == 0:
             raise ValueError("no valid snapshots")
         scale = 1.0
@@ -93,6 +99,78 @@ def spatial_periodogram(
             scale = x.shape[1] / float(live.sum())
         powers = np.abs(np.fft.fft(x, axis=1)) ** 2 / x.shape[1]
         return scale * powers.mean(axis=0)
+
+
+def spatial_periodogram_batch(
+    snapshots: np.ndarray,
+    valid: np.ndarray | None = None,
+    liveness: np.ndarray | None = None,
+) -> np.ndarray:
+    """Average spatial periodograms for a stack of dwells at once.
+
+    One FFT over the whole ``(W, K, N)`` stack replaces W separate
+    :func:`spatial_periodogram` calls; per-window snapshot selection
+    (drop incomplete rows when a complete one exists, zero-fill
+    otherwise) is expressed as a 0/1 row weighting, which is exact
+    because a zero-weighted row contributes exactly nothing to the
+    average.
+
+    Args:
+        snapshots: ``(W, K, N)`` complex snapshots (windows x rounds x
+            antennas).
+        valid: optional ``(W, K, N)`` observation mask, same semantics
+            per window as the scalar function.
+        liveness: optional ``(N,)`` port-liveness mask shared by the
+            batch (one log = one liveness verdict).
+
+    Returns:
+        Mean power per spatial-frequency bin, shape: ``(W, N)``.
+
+    Raises:
+        ValueError: on shape mismatches, when no port is live, or when
+            some window has no observed entry at all.
+    """
+    x = np.asarray(snapshots, dtype=np.complex128)
+    if x.ndim != 3:
+        raise ValueError("snapshots must be (W, K, N)")
+    n_windows, n_rounds, n_ant = x.shape
+    if n_windows == 0:
+        return np.zeros((0, n_ant))
+    with span("dsp.periodogram.batch", windows=n_windows, snapshots=n_rounds):
+        live = None
+        if liveness is not None:
+            live = np.asarray(liveness, dtype=bool)
+            if live.shape != (n_ant,):
+                raise ValueError("liveness must be (N,)")
+            if not live.any():
+                raise ValueError("no live ports")
+            if live.all():
+                live = None
+        if valid is not None:
+            if valid.shape != x.shape:
+                raise ValueError("valid must match snapshots")
+            complete = (
+                valid.all(axis=2)
+                if live is None
+                else valid[:, :, live].all(axis=2)
+            )  # (W, K)
+            has_complete = complete.any(axis=1)
+            if not (has_complete | valid.any(axis=(1, 2))).all():
+                raise ValueError("no valid snapshots in some window")
+            # Keep complete rows where they exist; otherwise keep every
+            # row but silence the unobserved entries.
+            weights = np.where(has_complete[:, None], complete, True)
+            x = np.where(valid, x, 0.0)
+        else:
+            weights = np.ones((n_windows, n_rounds), dtype=bool)
+        scale = 1.0
+        if live is not None:
+            x = np.where(live[None, None, :], x, 0.0)
+            scale = n_ant / float(live.sum())
+        powers = np.abs(np.fft.fft(x, axis=2)) ** 2 / n_ant
+        counts = weights.sum(axis=1).astype(np.float64)
+        mean = (powers * weights[:, :, None]).sum(axis=1) / counts[:, None]
+        return scale * mean
 
 
 def total_power(y: np.ndarray) -> float:

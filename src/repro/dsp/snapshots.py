@@ -113,20 +113,23 @@ def build_snapshots(
     valid = np.zeros((n_frames, rounds_per_dwell, n_ant), dtype=bool)
     wavelength = np.full(n_frames, np.nan)
 
-    in_range = dwell_idx < n_frames
+    in_range = (dwell_idx >= 0) & (dwell_idx < n_frames)
     from repro.channel.params import SPEED_OF_LIGHT
 
-    for f, k, a, amp, ph, fr in zip(
-        dwell_idx[in_range],
-        k_idx[in_range],
-        antennas[in_range],
-        amps[in_range],
-        psi_tag[in_range],
-        freqs[in_range],
-    ):
-        z[f, k, a] = amp * np.exp(1j * ph)
-        valid[f, k, a] = True
-        wavelength[f] = SPEED_OF_LIGHT / fr
+    f_sel = dwell_idx[in_range]
+    values = (amps * np.exp(1j * psi_tag))[in_range]
+    # Duplicate (dwell, round, antenna) bins keep the *last* read in
+    # log order, so pick each flat bin's final occurrence explicitly
+    # (fancy-index assignment leaves duplicate resolution unspecified).
+    flat = (f_sel * rounds_per_dwell + k_idx[in_range]) * n_ant + antennas[in_range]
+    bins, first_in_reversed = np.unique(flat[::-1], return_index=True)
+    last = flat.size - 1 - first_in_reversed
+    z.reshape(-1)[bins] = values[last]
+    valid.reshape(-1)[bins] = True
+    frames_seen, first_in_reversed = np.unique(f_sel[::-1], return_index=True)
+    wavelength[frames_seen] = (
+        SPEED_OF_LIGHT / freqs[in_range][f_sel.size - 1 - first_in_reversed]
+    )
 
     # Frames never observed (tag missed for a whole dwell) get the
     # band-centre wavelength so downstream steering stays finite.

@@ -24,6 +24,7 @@ from repro.eval.harness import (
 from repro.eval.extensions import (
     EXTENSIONS,
     run_ext_augmentation,
+    run_ext_batching,
     run_ext_hub_coverage,
     run_ext_realtime,
     run_ext_transfer,
@@ -61,6 +62,7 @@ __all__ = [
     "get_dataset",
     "get_raw_samples",
     "run_ext_augmentation",
+    "run_ext_batching",
     "run_ext_hub_coverage",
     "run_ext_realtime",
     "run_ext_robustness",

@@ -123,6 +123,26 @@ class ReadLog:
             meta=self.meta,
         )
 
+    def take(self, indices: np.ndarray | slice) -> "ReadLog":
+        """Sub-log of the reads selected by ``indices``, in that order.
+
+        Unlike :meth:`select`, this accepts an integer index array (or
+        a plain slice, which costs only array views) — the streaming
+        identifier uses it to cut windows out of a time-sorted log
+        without rescanning every read per window.
+        """
+        return ReadLog(
+            epcs=self.epcs,
+            tag_index=self.tag_index[indices],
+            antenna=self.antenna[indices],
+            channel=self.channel[indices],
+            frequency_hz=self.frequency_hz[indices],
+            timestamp_s=self.timestamp_s[indices],
+            phase_rad=self.phase_rad[indices],
+            rssi_dbm=self.rssi_dbm[indices],
+            meta=self.meta,
+        )
+
     def antenna_liveness(self) -> np.ndarray:
         """Which antenna ports produced at least one read.
 

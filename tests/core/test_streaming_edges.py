@@ -142,3 +142,51 @@ class TestAbstention:
         decisions = identifier(pipeline=shaky).identify(log)
         assert not decisions[0].abstained
         assert decisions[0].confidence == pytest.approx(0.55)
+
+
+class TestWindowParameterValidation:
+    """A non-positive hop used to loop forever (``hop_s or window_s``
+    treated 0.0 as unset only for None-like falsiness, and a negative
+    hop walked the window backwards).  These must fail fast — each
+    call below returns or raises immediately, no timeout machinery."""
+
+    def test_zero_hop_raises(self):
+        log = make_log(np.linspace(0.0, 0.39, 16), np.tile([0, 1, 2, 3], 4))
+        with pytest.raises(ValueError, match="hop_s"):
+            identifier(hop_s=0.0).identify(log)
+
+    def test_negative_hop_raises(self):
+        log = make_log(np.linspace(0.0, 0.39, 16), np.tile([0, 1, 2, 3], 4))
+        with pytest.raises(ValueError, match="hop_s"):
+            identifier(hop_s=-0.1).identify(log)
+
+    def test_non_positive_window_raises(self):
+        log = make_log(np.linspace(0.0, 0.39, 16), np.tile([0, 1, 2, 3], 4))
+        with pytest.raises(ValueError, match="window_s"):
+            identifier(window_s=0.0).identify(log)
+        with pytest.raises(ValueError, match="window_s"):
+            identifier(window_s=-1.0).identify(log)
+
+    def test_none_hop_still_defaults_to_window(self):
+        times = np.concatenate(
+            [np.linspace(0.0, 0.39, 16), np.linspace(0.4, 0.79, 16)]
+        )
+        decisions = identifier(hop_s=None).identify(
+            make_log(times, np.tile([0, 1, 2, 3], 8))
+        )
+        assert len(decisions) == 2  # back-to-back, non-overlapping
+
+
+class TestUnsortedLogs:
+    def test_unsorted_log_matches_sorted(self):
+        """The searchsorted fast path must not assume input order."""
+        times = np.linspace(0.0, 0.79, 32)
+        ants = np.tile([0, 1, 2, 3], 8)
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(times.size)
+        sorted_decisions = identifier().identify(make_log(times, ants))
+        shuffled_decisions = identifier().identify(
+            make_log(times[perm], ants[perm])
+        )
+        assert sorted_decisions == shuffled_decisions
+        assert len(sorted_decisions) == 2

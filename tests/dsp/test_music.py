@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.dsp import (
+    MusicResult,
     estimate_n_sources,
     forward_backward,
     music_pseudospectrum,
@@ -142,3 +143,55 @@ class TestForwardBackward:
     def test_idempotent_on_persymmetric(self):
         r = np.eye(4, dtype=complex)
         np.testing.assert_allclose(forward_backward(r), r)
+
+
+class TestPeaks:
+    """MusicResult.peaks: plateaus collapse, endpoints count."""
+
+    def _result(self, values):
+        values = np.asarray(values, dtype=float)
+        return MusicResult(
+            angles_deg=np.arange(values.size, dtype=float),
+            spectrum=values,
+            n_sources=1,
+            eigenvalues=np.ones(4),
+        )
+
+    def test_isolated_maxima(self):
+        peaks = self._result([0, 3, 0, 5, 0]).peaks()
+        assert peaks == [(3.0, 5.0), (1.0, 3.0)]
+
+    def test_plateau_collapses_to_one_centroid_peak(self):
+        # The naive s[i-1] <= s[i] >= s[i+1] scan reported all three
+        # plateau samples as separate peaks; the plateau is one maximum.
+        peaks = self._result([0, 2, 2, 2, 0]).peaks()
+        assert peaks == [(2.0, 2.0)]
+
+    def test_even_plateau_uses_lower_centroid(self):
+        peaks = self._result([0, 4, 4, 0]).peaks()
+        assert peaks == [(1.0, 4.0)]
+
+    def test_endpoint_maximum_is_reported(self):
+        # The naive interior scan could never see index 0 or n-1.
+        peaks = self._result([5, 1, 0, 1, 3]).peaks()
+        assert peaks == [(0.0, 5.0), (4.0, 3.0)]
+
+    def test_plateau_at_endpoint(self):
+        peaks = self._result([4, 4, 1, 0]).peaks()
+        assert peaks == [(0.0, 4.0)]
+
+    def test_rising_shoulder_is_not_a_peak(self):
+        # A plateau with a higher neighbour on either side is a ledge.
+        peaks = self._result([0, 2, 2, 3, 0]).peaks()
+        assert peaks == [(3.0, 3.0)]
+
+    def test_strongest_first_and_capped(self):
+        peaks = self._result([0, 1, 0, 3, 0, 2, 0]).peaks(max_peaks=2)
+        assert peaks == [(3.0, 3.0), (5.0, 2.0)]
+
+    def test_constant_spectrum_is_one_plateau(self):
+        peaks = self._result([1, 1, 1, 1]).peaks()
+        assert peaks == [(1.0, 1.0)]
+
+    def test_empty_spectrum(self):
+        assert self._result([]).peaks() == []

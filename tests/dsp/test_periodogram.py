@@ -80,3 +80,16 @@ class TestSpatialPeriodogram:
         # No complete snapshot: falls back to using what exists.
         per = spatial_periodogram(z, valid)
         assert per.shape == (4,)
+
+    def test_zero_fill_fallback_ignores_invalid_garbage(self):
+        """Degraded-dwell pin: unobserved slots hold measurement garbage
+        and must not leak into the average (they used to)."""
+        rng = np.random.default_rng(5)
+        z = rng.normal(size=(3, 4)) + 1j * rng.normal(size=(3, 4))
+        valid = np.ones((3, 4), dtype=bool)
+        valid[:, 1] = False  # no complete snapshot anywhere
+        garbage = z.copy()
+        garbage[:, 1] = 1e9 * (1.0 + 1.0j)
+        expected = spatial_periodogram(np.where(valid, z, 0.0))
+        np.testing.assert_allclose(spatial_periodogram(garbage, valid), expected)
+        np.testing.assert_allclose(spatial_periodogram(z, valid), expected)

@@ -63,3 +63,54 @@ class TestBuildSnapshots:
             for d in np.unique(dwell):
                 channels = np.unique(sub.channel[dwell == d])
                 assert len(channels) == 1
+
+    def test_duplicate_bin_keeps_last_read(self, small_log):
+        """Two reads landing in the same (dwell, round, antenna) bin
+        must resolve to the *last* read in log order — the semantics the
+        original per-read Python loop had and the vectorised assignment
+        must preserve."""
+        from repro.channel.link import rssi_dbm_to_amplitude
+        from repro.channel.params import ChannelParams
+        from repro.hardware import ReadLog
+
+        meta = small_log.meta
+        # Same tag, same bin (t=0.01 -> dwell 0, round 0, antenna 2).
+        log = ReadLog(
+            epcs=("T",),
+            tag_index=np.zeros(3, dtype=int),
+            antenna=np.array([2, 2, 2]),
+            channel=np.zeros(3, dtype=int),
+            frequency_hz=np.full(3, meta.frequencies_hz[0]),
+            timestamp_s=np.array([0.010, 0.012, 0.014]),
+            phase_rad=np.zeros(3),
+            rssi_dbm=np.array([-60.0, -55.0, -50.0]),
+            meta=meta,
+        )
+        psi = np.array([0.3, 1.1, 2.2])
+        snaps = build_snapshots(log, psi, 0, n_frames=1)
+        amp = rssi_dbm_to_amplitude(np.array([-50.0]), ChannelParams())[0]
+        assert snaps.valid[0, 0, 2]
+        assert snaps.z[0, 0, 2] == pytest.approx(amp * np.exp(2.2j))
+        assert snaps.valid.sum() == 1
+
+    def test_frame_wavelength_is_last_read_in_frame(self, small_log):
+        """Per-frame wavelength follows the frame's last read."""
+        from repro.channel.params import SPEED_OF_LIGHT
+        from repro.hardware import ReadLog
+
+        meta = small_log.meta
+        f0, f1 = meta.frequencies_hz[0], meta.frequencies_hz[9]
+        log = ReadLog(
+            epcs=("T",),
+            tag_index=np.zeros(2, dtype=int),
+            antenna=np.array([0, 1]),
+            channel=np.array([0, 9]),
+            frequency_hz=np.array([f0, f1]),
+            timestamp_s=np.array([0.01, 0.30]),
+            phase_rad=np.zeros(2),
+            rssi_dbm=np.full(2, -60.0),
+            meta=meta,
+        )
+        psi = np.zeros(2)
+        snaps = build_snapshots(log, psi, 0, n_frames=1)
+        assert snaps.wavelength_m[0] == pytest.approx(SPEED_OF_LIGHT / f1)

@@ -49,6 +49,7 @@ class TestExperimentRegistry:
             "ext-augment",
             "ext-realtime",
             "ext-robustness",
+            "ext-batching",
         } == set(EXTENSIONS)
 
     def test_drivers_are_callable_with_standard_signature(self):
