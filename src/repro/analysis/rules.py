@@ -514,6 +514,44 @@ class ShapeContractRule(LintRule):
 
 
 @register_rule
+class MonotonicClockRule(LintRule):
+    """RPR010: duration and deadline math must not use ``time.time``.
+
+    The wall clock jumps (NTP slews, DST, manual adjustment); an
+    interval measured with ``time.time()`` can be negative or wildly
+    wrong, which silently corrupts retry backoff budgets, breaker
+    reset timeouts, and per-window deadlines.  ``time.monotonic`` (or
+    ``time.perf_counter`` for profiling) is immune.  The rare
+    legitimate use — stamping an *epoch timestamp* for export — takes
+    a line suppression.
+    """
+
+    code = "RPR010"
+    name = "monotonic-clock"
+    description = (
+        "time.time() in library code; durations and deadlines must use "
+        "time.monotonic (or time.perf_counter for profiling)"
+    )
+    hint = (
+        "use time.monotonic() for durations/deadlines, time.perf_counter() "
+        "for profiling; suppress only genuine epoch timestamps"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if _dotted(node) == "time.time":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "time.time() follows the adjustable wall clock; "
+                    "interval math needs a monotonic clock",
+                )
+
+
+@register_rule
 class PublicDocstringRule(LintRule):
     """RPR009: every public function and class carries a docstring.
 

@@ -4,11 +4,29 @@ A deployment trains once and serves for weeks; the trained pipeline
 (network weights, feature scalers, label vocabulary, configuration)
 round-trips through a single ``.npz`` file with a JSON manifest — no
 pickle, so checkpoints are portable and inspectable.
+
+Crash safety: every write goes through a same-directory temp file and
+``os.replace``, so a crash mid-write can never leave a truncated
+``.npz`` at the destination path; readers see either the old complete
+file or the new complete file.  Every read failure — missing file,
+truncated archive, missing key, bad manifest — surfaces as a
+:class:`CheckpointError` naming the path and the field that failed,
+not a raw ``zipfile``/``KeyError`` internal.
+
+The same machinery persists mid-training state
+(:func:`save_training_checkpoint` / :func:`load_training_checkpoint`):
+model parameters, optimizer slots, the training RNG state, and the
+history, which is what lets ``Trainer.fit(resume_from=...)`` continue
+a killed run bit-exact.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -21,11 +39,109 @@ from repro.core.pipeline import M2AIPipeline
 from repro.ml.base import LabelEncoder
 from repro.ml.preprocessing import StandardScaler
 
+__all__ = [
+    "CheckpointError",
+    "load_pipeline",
+    "load_training_checkpoint",
+    "save_pipeline",
+    "save_training_checkpoint",
+]
+
 _FORMAT_VERSION = 1
+_TRAIN_FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, corrupt, or incomplete.
+
+    Subclasses :class:`ValueError` so callers catching the historical
+    version-mismatch error keep working.
+
+    Attributes:
+        path: the checkpoint file the failure is about.
+        field: the manifest field or array key that failed, when the
+            failure is attributable to one.
+    """
+
+    def __init__(
+        self, path: str | Path, detail: str, field: str | None = None
+    ) -> None:
+        location = f" (field {field!r})" if field is not None else ""
+        super().__init__(f"checkpoint {path}{location}: {detail}")
+        self.path = str(path)
+        self.field = field
+
+
+def _atomic_savez(path: Path, arrays: dict[str, object]) -> None:
+    """Write ``arrays`` to ``path`` via temp file + ``os.replace``."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _open_archive(path: Path):
+    """Open an ``.npz`` checkpoint, translating low-level failures."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError as exc:
+        raise CheckpointError(path, "file does not exist") from exc
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise CheckpointError(
+            path, f"not a readable .npz archive: {exc}"
+        ) from exc
+
+
+def _read_array(data, path: Path, key: str) -> np.ndarray:
+    """Read one array from an open archive with clear attribution."""
+    try:
+        return data[key]
+    except KeyError as exc:
+        raise CheckpointError(path, "required array missing", field=key) from exc
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError, ValueError) as exc:
+        raise CheckpointError(
+            path, f"truncated or corrupt array: {exc}", field=key
+        ) from exc
+
+
+def _read_manifest(data, path: Path) -> dict:
+    raw = _read_array(data, path, "manifest")
+    try:
+        manifest = json.loads(str(raw))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            path, f"manifest is not valid JSON: {exc}", field="manifest"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise CheckpointError(
+            path, "manifest is not a JSON object", field="manifest"
+        )
+    return manifest
+
+
+def _manifest_field(manifest: dict, path: Path, key: str):
+    try:
+        return manifest[key]
+    except KeyError as exc:
+        raise CheckpointError(
+            path, "required manifest field missing", field=key
+        ) from exc
 
 
 def save_pipeline(pipeline: M2AIPipeline, path: str | Path) -> None:
-    """Write a fitted pipeline to ``path`` (.npz).
+    """Write a fitted pipeline to ``path`` (.npz), atomically.
+
+    The archive is assembled in a same-directory temp file and moved
+    into place with ``os.replace``, so a crash mid-write never leaves
+    a corrupt checkpoint at ``path``.
 
     Raises:
         RuntimeError: when the pipeline has not been fitted.
@@ -48,60 +164,195 @@ def save_pipeline(pipeline: M2AIPipeline, path: str | Path) -> None:
         "n_classes": model.n_classes,
         "scaler_channels": sorted(pipeline._scaler._scalers),
     }
-    arrays: dict[str, np.ndarray] = {}
+    arrays: dict[str, object] = {"manifest": json.dumps(manifest)}
     for i, value in enumerate(model.get_state()):
         arrays[f"param_{i:04d}"] = value
     for name, scaler in pipeline._scaler._scalers.items():
         assert scaler.mean_ is not None and scaler.scale_ is not None
         arrays[f"scaler_mean__{name}"] = scaler.mean_
         arrays[f"scaler_scale__{name}"] = scaler.scale_
-    np.savez_compressed(path, manifest=json.dumps(manifest), **arrays)
+    _atomic_savez(path, arrays)
 
 
 def load_pipeline(path: str | Path) -> M2AIPipeline:
     """Load a pipeline saved by :func:`save_pipeline`.
 
     Raises:
-        ValueError: for an unknown format version.
+        CheckpointError: for a missing, truncated, or corrupt file, a
+            missing manifest field or array, or an unsupported format
+            version — always naming the path and the failed field
+            (:class:`CheckpointError` is a :class:`ValueError`).
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        manifest = json.loads(str(data["manifest"]))
-        if manifest["format_version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint version {manifest['format_version']}"
+    path = Path(path)
+    with _open_archive(path) as data:
+        manifest = _read_manifest(data, path)
+        version = _manifest_field(manifest, path, "format_version")
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(
+                path,
+                f"unsupported checkpoint version {version}",
+                field="format_version",
             )
-        config_fields = dict(manifest["config"])
+        config_fields = dict(_manifest_field(manifest, path, "config"))
         # JSON stores tuples as lists; restore tuple-typed fields.
         for key, value in config_fields.items():
             if isinstance(value, list):
                 config_fields[key] = tuple(value)
         config = M2AIConfig(**config_fields)
-        pipeline = M2AIPipeline(config, mode=manifest["mode"])
+        mode = _manifest_field(manifest, path, "mode")
+        pipeline = M2AIPipeline(config, mode=mode)
 
         encoder = LabelEncoder()
-        encoder.classes_ = np.array(manifest["classes"])
+        encoder.classes_ = np.array(_manifest_field(manifest, path, "classes"))
         pipeline._encoder = encoder
 
         scaler = ChannelScaler()
-        for name in manifest["scaler_channels"]:
+        for name in _manifest_field(manifest, path, "scaler_channels"):
             inner = StandardScaler()
-            inner.mean_ = data[f"scaler_mean__{name}"]
-            inner.scale_ = data[f"scaler_scale__{name}"]
+            inner.mean_ = _read_array(data, path, f"scaler_mean__{name}")
+            inner.scale_ = _read_array(data, path, f"scaler_scale__{name}")
             scaler._scalers[name] = inner
         pipeline._scaler = scaler
 
         channel_shapes = {
             name: tuple(shape)
-            for name, shape in manifest["channel_shapes"].items()
+            for name, shape in _manifest_field(
+                manifest, path, "channel_shapes"
+            ).items()
         }
         model = M2AINet(
             channel_shapes=channel_shapes,
-            n_classes=manifest["n_classes"],
+            n_classes=_manifest_field(manifest, path, "n_classes"),
             cfg=config,
-            mode=manifest["mode"],
+            mode=mode,
             rng=np.random.default_rng(config.seed),
         )
         param_keys = sorted(k for k in data.files if k.startswith("param_"))
-        model.set_state([data[k] for k in param_keys])
+        params = [_read_array(data, path, k) for k in param_keys]
+        try:
+            model.set_state(params)
+        except ValueError as exc:
+            raise CheckpointError(path, str(exc), field="param_*") from exc
         pipeline.model = model
     return pipeline
+
+
+def save_training_checkpoint(
+    path: str | Path,
+    epoch: int,
+    model_state: list[np.ndarray],
+    optimizer_state: dict,
+    rng_state: dict,
+    history: dict,
+    best_val: float,
+    best_state: list[np.ndarray] | None,
+    model_rng_states: list[dict] | None = None,
+) -> None:
+    """Atomically persist mid-training state after an epoch.
+
+    Everything ``Trainer.fit(resume_from=...)`` needs to continue the
+    run bit-exact goes into one ``.npz``: the model parameters, the
+    optimizer's slot arrays and scalars, the training RNG's
+    bit-generator state, the history so far, and the best-snapshot
+    tracking.
+
+    Args:
+        path: checkpoint destination.
+        epoch: 0-based index of the epoch that just completed.
+        model_state: ``Module.get_state()`` parameter arrays.
+        optimizer_state: ``SGD.get_state()`` / ``Adam.get_state()``
+            mapping; lists of arrays become ``opt_<slot>_NNNN``
+            archive entries, scalars go into the manifest.
+        rng_state: the training generator's
+            ``rng.bit_generator.state`` dict.
+        history: ``TrainHistory`` fields as plain lists.
+        best_val: best validation accuracy seen so far.
+        best_state: parameter snapshot at ``best_val`` (None when no
+            validation ran).
+        model_rng_states: bit-generator states of RNGs the *model*
+            consumes during training (dropout masks) — without them a
+            resumed run draws different masks and is no longer
+            bit-exact.
+    """
+    path = Path(path)
+    slot_names = sorted(
+        k for k, v in optimizer_state.items() if isinstance(v, list)
+    )
+    manifest = {
+        "format_version": _TRAIN_FORMAT_VERSION,
+        "kind": "training-checkpoint",
+        "epoch": int(epoch),
+        "best_val": float(best_val),
+        "rng_state": rng_state,
+        "history": history,
+        "optimizer": {
+            k: v for k, v in optimizer_state.items() if not isinstance(v, list)
+        },
+        "optimizer_slots": slot_names,
+        "n_params": len(model_state),
+        "has_best": best_state is not None,
+        "model_rng_states": model_rng_states or [],
+    }
+    arrays: dict[str, object] = {"manifest": json.dumps(manifest)}
+    for i, value in enumerate(model_state):
+        arrays[f"param_{i:04d}"] = value
+    for slot in slot_names:
+        for i, value in enumerate(optimizer_state[slot]):
+            arrays[f"opt_{slot}_{i:04d}"] = value
+    if best_state is not None:
+        for i, value in enumerate(best_state):
+            arrays[f"best_{i:04d}"] = value
+    _atomic_savez(path, arrays)
+
+
+def load_training_checkpoint(path: str | Path) -> dict:
+    """Load a checkpoint written by :func:`save_training_checkpoint`.
+
+    Returns:
+        A dict with keys ``epoch``, ``best_val``, ``rng_state``,
+        ``history``, ``model_state``, ``optimizer_state``,
+        ``best_state`` (None when the run had no validation split) and
+        ``model_rng_states`` (empty list for checkpoints written
+        before dropout RNG capture).
+
+    Raises:
+        CheckpointError: for a missing, truncated, or corrupt file, an
+            unsupported version, or a missing field/array.
+    """
+    path = Path(path)
+    with _open_archive(path) as data:
+        manifest = _read_manifest(data, path)
+        version = _manifest_field(manifest, path, "format_version")
+        if version != _TRAIN_FORMAT_VERSION:
+            raise CheckpointError(
+                path,
+                f"unsupported training-checkpoint version {version}",
+                field="format_version",
+            )
+        n_params = int(_manifest_field(manifest, path, "n_params"))
+        model_state = [
+            _read_array(data, path, f"param_{i:04d}") for i in range(n_params)
+        ]
+        optimizer_state = dict(_manifest_field(manifest, path, "optimizer"))
+        for slot in _manifest_field(manifest, path, "optimizer_slots"):
+            optimizer_state[slot] = [
+                _read_array(data, path, f"opt_{slot}_{i:04d}")
+                for i in range(n_params)
+            ]
+        best_state = None
+        if _manifest_field(manifest, path, "has_best"):
+            best_state = [
+                _read_array(data, path, f"best_{i:04d}")
+                for i in range(n_params)
+            ]
+        return {
+            "epoch": int(_manifest_field(manifest, path, "epoch")),
+            "best_val": float(_manifest_field(manifest, path, "best_val")),
+            "rng_state": _manifest_field(manifest, path, "rng_state"),
+            "history": _manifest_field(manifest, path, "history"),
+            "model_state": model_state,
+            "optimizer_state": optimizer_state,
+            "best_state": best_state,
+            # Absent in pre-dropout-aware checkpoints: default to none.
+            "model_rng_states": manifest.get("model_rng_states", []),
+        }

@@ -26,6 +26,7 @@ from repro.dsp.features import M2AIFeaturizer
 from repro.hardware.llrp import ReadLog
 from repro.obs.metrics import counter
 from repro.obs.tracing import span
+from repro.runtime.breaker import stage_boundary
 
 ABSTAIN = "abstain"
 """Label carried by abstain decisions."""
@@ -38,6 +39,15 @@ REASON_DEAD_PORTS = "dead_ports"
 
 REASON_LOW_CONFIDENCE = "low_confidence"
 """Abstain reason: top softmax probability below ``min_confidence``."""
+
+REASON_STAGE_FAILURE = "stage_failure"
+"""Abstain reason: a pipeline stage raised under supervision."""
+
+REASON_BREAKER_OPEN = "breaker_open"
+"""Abstain reason: a stage's circuit breaker rejected the window."""
+
+REASON_DEADLINE = "deadline_exceeded"
+"""Abstain reason: the window missed its wall-clock deadline."""
 
 
 @dataclass(frozen=True)
@@ -65,6 +75,81 @@ class WindowDecision:
     n_reads: int
     abstained: bool = False
     reason: str | None = None
+
+
+def abstain_decision(
+    start: float, end: float, n_reads: int, reason: str
+) -> WindowDecision:
+    """Build (and count) one abstain decision.
+
+    The single construction point for abstains — the identifier and
+    the runtime supervisor both emit through it, so the
+    ``streaming.abstain_total`` counter stays authoritative.
+    """
+    counter("streaming.abstain_total", reason=reason).inc()
+    return WindowDecision(
+        t_start_s=start,
+        t_end_s=end,
+        label=ABSTAIN,
+        confidence=0.0,
+        n_reads=n_reads,
+        abstained=True,
+        reason=reason,
+    )
+
+
+def split_windows(
+    log: ReadLog, window_s: float, hop_s: float | None = None
+) -> list[tuple[float, ReadLog]]:
+    """Cut a continuous log into complete observation windows.
+
+    Uses the same windowing grid as
+    :meth:`StreamingIdentifier.identify` (start snapped to the dwell
+    grid, a window complete once its final dwell has started), so a
+    supervisor slicing windows up front sees exactly the windows the
+    batched path would.
+
+    Args:
+        log: the continuous session log.
+        window_s: observation window length.
+        hop_s: stride between windows (defaults to ``window_s``).
+
+    Returns:
+        ``(t_start_s, window_log)`` pairs in time order; empty when
+        the log cannot hold one complete window.
+
+    Raises:
+        ValueError: on a non-positive ``window_s`` or ``hop_s``.
+    """
+    if window_s is None or window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if hop_s is not None and hop_s <= 0:
+        raise ValueError("hop_s must be positive")
+    hop = window_s if hop_s is None else hop_s
+    if log.n_reads == 0:
+        return []
+    dwell = log.meta.dwell_s
+    if np.all(log.timestamp_s[1:] >= log.timestamp_s[:-1]):
+        sorted_log = log
+    else:
+        sorted_log = log.take(np.argsort(log.timestamp_s, kind="stable"))
+    ts = sorted_log.timestamp_s
+    t0 = np.floor(float(ts[0]) / dwell) * dwell
+    t_end = float(ts[-1]) + dwell
+    starts: list[float] = []
+    start = t0
+    while start + window_s <= t_end + 1e-9:
+        starts.append(float(start))
+        start += hop
+    if not starts:
+        return []
+    starts_arr = np.asarray(starts, dtype=np.float64)
+    lo = np.searchsorted(ts, starts_arr, side="left")
+    hi = np.searchsorted(ts, starts_arr + window_s, side="left")
+    return [
+        (w_start, sorted_log.take(slice(int(w_lo), int(w_hi))))
+        for w_start, w_lo, w_hi in zip(starts, lo, hi)
+    ]
 
 
 @dataclass
@@ -195,13 +280,79 @@ class StreamingIdentifier:
                     samples=samples, labels=["?"] * len(samples)
                 )
                 with span("streaming.predict", windows=len(pending)):
-                    probas = self.pipeline.predict_proba(dataset)
+                    with stage_boundary("predict"):
+                        probas = self.pipeline.predict_proba(dataset)
                 for (i, w_start, n_reads), proba in zip(pending, probas):
                     decisions[i] = self._score(
                         w_start, n_reads, np.asarray(proba)
                     )
             identify_span.set(windows=len(decisions))
         return [d for d in decisions if d is not None]
+
+    def identify_window(
+        self,
+        window_log: ReadLog,
+        t_start_s: float,
+        psi: np.ndarray | None = None,
+    ) -> WindowDecision:
+        """Classify exactly one pre-sliced observation window.
+
+        The per-window serving path used by
+        :class:`~repro.runtime.supervisor.PipelineSupervisor`: windows
+        are processed in isolation (one featurise + one
+        ``predict_proba`` each) so a failure or breaker rejection in
+        one window cannot take down a batch.  For the same reads the
+        decision matches :meth:`identify`'s batched path.
+
+        Args:
+            window_log: the reads falling inside the window (e.g. from
+                :func:`split_windows`).
+            t_start_s: the window's nominal start in stream time.
+            psi: pre-computed doubled phases aligned with
+                ``window_log``; computed via the calibrator when None.
+
+        Returns:
+            Exactly one :class:`WindowDecision`.
+
+        Raises:
+            RuntimeError: when the pipeline is not fitted.
+        """
+        if self.pipeline.model is None:
+            raise RuntimeError("pipeline not fitted")
+        t_end = t_start_s + self.window_s
+        n_reads = window_log.n_reads
+        with span("streaming.window", t_start_s=t_start_s):
+            if n_reads < self.min_reads:
+                decision = self._abstain(
+                    t_start_s, t_end, n_reads, REASON_TOO_FEW_READS
+                )
+            elif (
+                int(window_log.antenna_liveness().sum()) < self.min_live_ports
+            ):
+                decision = self._abstain(
+                    t_start_s, t_end, n_reads, REASON_DEAD_PORTS
+                )
+            else:
+                if psi is None:
+                    psi = (
+                        self.calibrator.calibrate(window_log)
+                        if self.calibrator is not None
+                        else uncalibrated(window_log)
+                    )
+                dwell = window_log.meta.dwell_s
+                n_frames = max(1, int(round(self.window_s / dwell)))
+                sample = self.featurizer.transform(
+                    window_log, psi, n_frames=n_frames
+                )
+                dataset = ActivityDataset(samples=[sample], labels=["?"])
+                with span("streaming.predict", windows=1):
+                    with stage_boundary("predict"):
+                        probas = self.pipeline.predict_proba(dataset)
+                decision = self._score(
+                    t_start_s, n_reads, np.asarray(probas[0])
+                )
+            counter("streaming.windows_total").inc()
+        return decision
 
     def _score(
         self, start: float, n_reads: int, proba: np.ndarray
@@ -224,13 +375,4 @@ class StreamingIdentifier:
     def _abstain(
         self, start: float, end: float, n_reads: int, reason: str
     ) -> WindowDecision:
-        counter("streaming.abstain_total", reason=reason).inc()
-        return WindowDecision(
-            t_start_s=start,
-            t_end_s=end,
-            label=ABSTAIN,
-            confidence=0.0,
-            n_reads=n_reads,
-            abstained=True,
-            reason=reason,
-        )
+        return abstain_decision(start, end, n_reads, reason)

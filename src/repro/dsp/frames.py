@@ -26,6 +26,7 @@ from repro.dsp.periodogram import spatial_periodogram_batch
 from repro.dsp.snapshots import TagSnapshots, build_snapshots
 from repro.hardware.llrp import ReadLog
 from repro.obs.tracing import span
+from repro.runtime.breaker import stage_boundary
 
 _DB_FLOOR = -40.0
 
@@ -144,21 +145,24 @@ def build_spectrum_frames(
     """
     grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
     with span("dsp.frames.build", reads=log.n_reads) as build_span:
-        snapshot_sets = tag_snapshot_set(log, psi, n_frames)
-        frames = snapshot_sets[0].n_frames
-        n_tags = len(snapshot_sets)
-        build_span.set(frames=frames, tags=n_tags)
-        n_ant = log.meta.n_antennas
-        live = log.antenna_liveness()
-        healthy = bool(live.all())
-        can_aoa = int(live.sum()) >= 2
+        with stage_boundary("dsp.frames"):
+            snapshot_sets = tag_snapshot_set(log, psi, n_frames)
+            frames = snapshot_sets[0].n_frames
+            n_tags = len(snapshot_sets)
+            build_span.set(frames=frames, tags=n_tags)
+            n_ant = log.meta.n_antennas
+            live = log.antenna_liveness()
+            healthy = bool(live.all())
+            can_aoa = int(live.sum()) >= 2
 
-        pseudo = np.zeros((frames, n_tags, grid.size)) if include_pseudo else None
-        period = np.zeros((frames, n_tags, n_ant)) if include_period else None
+            pseudo = (
+                np.zeros((frames, n_tags, grid.size)) if include_pseudo else None
+            )
+            period = np.zeros((frames, n_tags, n_ant)) if include_period else None
 
-        _build_tag_frames(
-            snapshot_sets, log, grid, live, healthy, can_aoa, pseudo, period
-        )
+            _build_tag_frames(
+                snapshot_sets, log, grid, live, healthy, can_aoa, pseudo, period
+            )
 
     channels: dict[str, np.ndarray] = {}
     if pseudo is not None:
@@ -206,38 +210,41 @@ def _build_tag_frames(
         z_stack = np.stack(z_rows)
         v_stack = np.stack(valid_rows)
         if period is not None:
-            powers = power_to_db(
-                spatial_periodogram_batch(
-                    z_stack, v_stack, liveness=None if healthy else live
-                )
-            )
-        if pseudo is not None and healthy:
-            covs = spatial_covariance_stack(z_stack, v_stack)
-            results = music_pseudospectrum_batch(
-                covs,
-                spacing_m=log.meta.spacing_m,
-                wavelength_m=np.asarray(wavelengths),
-                angles_deg=grid,
-            )
-            spectra = np.stack(
-                [normalize_pseudospectrum(r.spectrum) for r in results]
-            )
-        elif pseudo is not None and can_aoa:
-            spectra = np.stack(
-                [
-                    normalize_pseudospectrum(
-                        masked_pseudospectrum(
-                            z_rows[i],
-                            valid_rows[i],
-                            live,
-                            spacing_m=log.meta.spacing_m,
-                            wavelength_m=wavelengths[i],
-                            angles_deg=grid,
-                        ).spectrum
+            with stage_boundary("dsp.periodogram"):
+                powers = power_to_db(
+                    spatial_periodogram_batch(
+                        z_stack, v_stack, liveness=None if healthy else live
                     )
-                    for i in range(len(entries))
-                ]
-            )
+                )
+        if pseudo is not None and healthy:
+            with stage_boundary("dsp.music"):
+                covs = spatial_covariance_stack(z_stack, v_stack)
+                results = music_pseudospectrum_batch(
+                    covs,
+                    spacing_m=log.meta.spacing_m,
+                    wavelength_m=np.asarray(wavelengths),
+                    angles_deg=grid,
+                )
+                spectra = np.stack(
+                    [normalize_pseudospectrum(r.spectrum) for r in results]
+                )
+        elif pseudo is not None and can_aoa:
+            with stage_boundary("dsp.music"):
+                spectra = np.stack(
+                    [
+                        normalize_pseudospectrum(
+                            masked_pseudospectrum(
+                                z_rows[i],
+                                valid_rows[i],
+                                live,
+                                spacing_m=log.meta.spacing_m,
+                                wavelength_m=wavelengths[i],
+                                angles_deg=grid,
+                            ).spectrum
+                        )
+                        for i in range(len(entries))
+                    ]
+                )
 
     position = {entry: i for i, entry in enumerate(entries)}
     for k in range(len(snapshot_sets)):

@@ -30,6 +30,12 @@ from repro.eval.extensions import (
     run_ext_transfer,
 )
 from repro.eval.reporting import ExperimentResult, ExperimentRow, bar_chart
+from repro.eval.resilience import (
+    ResilienceCell,
+    resilience_sweep,
+    run_ext_resilience,
+    run_resilience_bench,
+)
 from repro.eval.robustness import (
     RobustnessCell,
     RobustnessReport,
@@ -52,10 +58,13 @@ __all__ = [
     "EXTENSIONS",
     "ExperimentResult",
     "ExperimentRow",
+    "ResilienceCell",
     "RobustnessCell",
     "RobustnessReport",
     "bar_chart",
+    "resilience_sweep",
     "robustness_sweep",
+    "run_resilience_bench",
     "baseline_zoo",
     "clear_cache",
     "eval_baselines",
@@ -65,6 +74,7 @@ __all__ = [
     "run_ext_batching",
     "run_ext_hub_coverage",
     "run_ext_realtime",
+    "run_ext_resilience",
     "run_ext_robustness",
     "run_ext_transfer",
     "run_fig02",

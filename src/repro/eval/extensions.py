@@ -18,6 +18,7 @@ from repro.core.pipeline import M2AIPipeline
 from repro.data.generator import GenerationConfig, vary
 from repro.eval.harness import get_dataset, train_eval_m2ai
 from repro.eval.reporting import ExperimentResult, ExperimentRow
+from repro.eval.resilience import run_ext_resilience
 from repro.eval.robustness import run_ext_robustness
 
 
@@ -318,5 +319,6 @@ EXTENSIONS = {
     "ext-realtime": run_ext_realtime,
     "ext-robustness": run_ext_robustness,
     "ext-batching": run_ext_batching,
+    "ext-resilience": run_ext_resilience,
 }
 """Extension studies, keyed by id."""

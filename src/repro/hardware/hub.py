@@ -24,6 +24,7 @@ from repro.hardware.reader import Reader, ReaderConfig
 from repro.hardware.scene import Scene, TagTrack
 from repro.obs.metrics import counter
 from repro.obs.tracing import span
+from repro.runtime.retry import RetryPolicy
 
 
 @dataclass
@@ -35,12 +36,21 @@ class AntennaHub:
         arrays: member arrays (each gets its own reader session).
         channel_params: propagation constants.
         seed: base session seed; member ``i`` uses ``seed + i``.
+        retry_policy: per-member ingest retry policy, handed to every
+            member reader (None disables retries).
+        degrade_on_member_failure: when True, a member whose inventory
+            still fails after retries yields ``None`` in the returned
+            log list instead of failing the whole hub —
+            :func:`merge_hub_features` zero-fills the lost view
+            downstream.
     """
 
     room: Room
     arrays: tuple[UniformLinearArray, ...]
     channel_params: ChannelParams | None = None
     seed: int = 0
+    retry_policy: RetryPolicy | None = None
+    degrade_on_member_failure: bool = False
 
     def __post_init__(self) -> None:
         if not self.arrays:
@@ -51,11 +61,12 @@ class AntennaHub:
                 self.room,
                 channel_params=self.channel_params,
                 seed=self.seed + i,
+                retry_policy=self.retry_policy,
             )
             for i, array in enumerate(self.arrays)
         ]
 
-    def inventory(self, scene: Scene, duration_s: float) -> list[ReadLog]:
+    def inventory(self, scene: Scene, duration_s: float) -> list[ReadLog | None]:
         """One log per member array.
 
         The hub switches arrays per dwell in a real deployment; here
@@ -64,11 +75,28 @@ class AntennaHub:
         time-shared hardware approaches with more hub ports).
 
         Returns:
-            Logs in array order.
+            Logs in array order.  With ``degrade_on_member_failure``
+            set, a member that failed (after any retries) contributes
+            ``None``; otherwise every entry is a :class:`ReadLog`.
+
+        Raises:
+            Exception: whatever the failing member raised, when
+                ``degrade_on_member_failure`` is False.
         """
         with span("hub.inventory", arrays=len(self.readers)):
-            logs = [reader.inventory(scene, duration_s) for reader in self.readers]
-        counter("hub.reads_merged_total").inc(sum(log.n_reads for log in logs))
+            logs: list[ReadLog | None] = []
+            for reader in self.readers:
+                if not self.degrade_on_member_failure:
+                    logs.append(reader.inventory(scene, duration_s))
+                    continue
+                try:
+                    logs.append(reader.inventory(scene, duration_s))
+                except Exception:
+                    counter("runtime.ingest.member_lost_total").inc()
+                    logs.append(None)
+        counter("hub.reads_merged_total").inc(
+            sum(log.n_reads for log in logs if log is not None)
+        )
         return logs
 
     def calibration_inventory(self, scene: Scene, duration_s: float = 20.0) -> list[ReadLog]:

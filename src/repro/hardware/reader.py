@@ -31,6 +31,7 @@ from repro.hardware.hopping import FrequencyHopper
 from repro.hardware.llrp import ReaderMeta, ReadLog
 from repro.hardware.scene import Scene
 from repro.obs.tracing import span
+from repro.runtime.retry import RetryPolicy, call_with_retry
 
 TWO_PI = 2.0 * np.pi
 
@@ -89,6 +90,9 @@ class Reader:
         channel_params: propagation constants.
         hopper: hop schedule; a default FCC 50-channel plan when None.
         seed: session seed (fixes offsets, noise, and hop order).
+        retry_policy: when set, transient transport failures during
+            :meth:`inventory` are retried under this policy (seeded
+            full-jitter backoff; see :mod:`repro.runtime.retry`).
     """
 
     def __init__(
@@ -98,10 +102,12 @@ class Reader:
         channel_params: ChannelParams | None = None,
         hopper: FrequencyHopper | None = None,
         seed: int = 0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.config = config
         self.room = room
         self.params = channel_params or ChannelParams()
+        self.retry_policy = retry_policy
         self._rng = np.random.default_rng(seed)
         self._seed = seed
         self.hopper = hopper or FrequencyHopper(
@@ -152,6 +158,11 @@ class Reader:
         antenna port (an idealisation of EPC Gen2 rounds that yields
         ~40 reads/s/tag, matching real deployments).
 
+        With a ``retry_policy`` configured, transient transport
+        failures (``ConnectionError``/``TimeoutError``/``OSError``
+        flavoured, per the policy's ``retry_on``) are retried with
+        seeded full-jitter backoff before giving up.
+
         Args:
             scene: tags and bodies; trajectories must be sampled at the
                 slot rate or be stationary.
@@ -161,7 +172,27 @@ class Reader:
         Returns:
             The read log, filtered down to reads that physically
             succeed (harvest + SNR + random losses).
+
+        Raises:
+            RetryExhaustedError: when a retry policy is configured and
+                every attempt failed (from
+                :mod:`repro.runtime.retry`).
         """
+        if self.retry_policy is None:
+            return self._inventory_once(scene, duration_s, t0)
+        return call_with_retry(
+            self._inventory_once,
+            scene,
+            duration_s,
+            t0,
+            policy=self.retry_policy,
+            stage="ingest.inventory",
+        )
+
+    def _inventory_once(
+        self, scene: Scene, duration_s: float, t0: float = 0.0
+    ) -> ReadLog:
+        """One inventory attempt (the retry-free transport call)."""
         n_slots = int(round(duration_s / self.config.slot_s))
         if n_slots <= 0:
             raise ValueError("duration too short for a single slot")

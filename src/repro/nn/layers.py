@@ -90,6 +90,11 @@ class Dropout(Module):
         self._rng = rng
         self._mask: np.ndarray | None = None
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The generator feeding the masks (checkpointing captures it)."""
+        return self._rng
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Forward pass (caches what :meth:`backward` needs)."""
         if not training or self.rate == 0.0:

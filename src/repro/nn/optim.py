@@ -63,6 +63,32 @@ class SGD:
                 p.value -= self.lr * g
         counter("nn.optimizer_steps_total", kind="sgd").inc()
 
+    def get_state(self) -> dict:
+        """Slot state for checkpointing (velocity buffers)."""
+        return {
+            "kind": "sgd",
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore slot state saved by :meth:`get_state`.
+
+        Raises:
+            ValueError: on an optimizer-kind or slot-shape mismatch.
+        """
+        if state.get("kind") != "sgd":
+            raise ValueError(f"expected sgd state, got {state.get('kind')!r}")
+        velocity = state["velocity"]
+        if len(velocity) != len(self._velocity):
+            raise ValueError(
+                f"velocity count mismatch: checkpoint has {len(velocity)}, "
+                f"optimizer tracks {len(self._velocity)}"
+            )
+        for i, (current, saved) in enumerate(zip(self._velocity, velocity)):
+            if current.shape != np.shape(saved):
+                raise ValueError(f"velocity slot {i} shape mismatch")
+            self._velocity[i] = np.array(saved, dtype=np.float64)
+
 
 class Adam:
     """Adam (Kingma & Ba) with bias correction."""
@@ -104,3 +130,33 @@ class Adam:
                 v += (1.0 - self.beta2) * g * g
                 p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
         counter("nn.optimizer_steps_total", kind="adam").inc()
+
+    def get_state(self) -> dict:
+        """Slot state for checkpointing (moments and step count)."""
+        return {
+            "kind": "adam",
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore slot state saved by :meth:`get_state`.
+
+        Raises:
+            ValueError: on an optimizer-kind or slot-shape mismatch.
+        """
+        if state.get("kind") != "adam":
+            raise ValueError(f"expected adam state, got {state.get('kind')!r}")
+        for name, current_slots in (("m", self._m), ("v", self._v)):
+            saved = state[name]
+            if len(saved) != len(current_slots):
+                raise ValueError(
+                    f"{name} count mismatch: checkpoint has {len(saved)}, "
+                    f"optimizer tracks {len(current_slots)}"
+                )
+            for i, (current, value) in enumerate(zip(current_slots, saved)):
+                if current.shape != np.shape(value):
+                    raise ValueError(f"{name} slot {i} shape mismatch")
+                current_slots[i] = np.array(value, dtype=np.float64)
+        self._t = int(state["t"])

@@ -12,9 +12,10 @@ instrumented ingest→DSP→inference path, and writes
 instrumented stage plus a real-time margin for the end-to-end window.
 
 The required stage set (hub merge, calibration, MUSIC, periodogram,
-network forward, end-to-end window) is asserted before the artifact is
-written, so a refactor that silently drops an instrumentation point
-fails the benchmark job instead of producing a hollow artifact.
+network forward, end-to-end window, supervised runtime window) is
+asserted before the artifact is written, so a refactor that silently
+drops an instrumentation point fails the benchmark job instead of
+producing a hollow artifact.
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ REQUIRED_STAGES = (
     "dsp.periodogram.batch",
     "nn.forward",
     "streaming.window",
+    "runtime.window",
 )
 """Stages the artifact must cover for the benchmark to count.
 
@@ -284,6 +286,12 @@ def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) ->
             PhaseCalibrator.fit(calibration_log)
         for _ in range(repeat):
             identifier.identify(stream)
+        from repro.runtime import PipelineSupervisor
+
+        supervisor = PipelineSupervisor(identifier)
+        for _ in range(repeat):
+            supervisor.process(stream)
+        supervisor_health = supervisor.health().as_dict()
         for _ in range(max(repeat * 10, 20)):
             merge_hub_features(list(per_view))
         batch_doc = run_batch_stage(window_logs, calibrator, repeat=max(repeat, 2))
@@ -334,6 +342,10 @@ def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) ->
             ),
         },
         "batch": batch_doc,
+        "runtime": {
+            "supervised_window_p95_ms": stages["runtime.window"]["p95_ms"],
+            "health": supervisor_health,
+        },
         "metrics": metrics_doc,
     }
     return doc
@@ -379,6 +391,11 @@ def main(argv: list[str] | None = None) -> int:
     out(
         f"identify per window: {rt['identify_per_window_ms']:.2f} ms "
         f"({rt['identify_margin_x']:.1f}x real time, inference batched)\n"
+    )
+    runtime = doc["runtime"]
+    out(
+        f"supervised window p95: {runtime['supervised_window_p95_ms']:.2f} ms, "
+        f"health={runtime['health']['state']}\n"
     )
     batch = doc["batch"]
     for kind in ("music", "periodogram"):

@@ -198,7 +198,8 @@ class _LiveSpan:
     def __enter__(self) -> "_LiveSpan":
         stack = _span_stack()
         stack.append(self.record)
-        self.record.t_start_s = time.time()
+        # Epoch stamp for export only; durations below use perf_counter.
+        self.record.t_start_s = time.time()  # reprolint: disable=RPR010
         self._t0_cpu = time.process_time()
         self._t0_wall = time.perf_counter()
         return self

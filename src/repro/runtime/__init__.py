@@ -1,0 +1,82 @@
+"""Supervised runtime: retries, circuit breakers, deadlines, health.
+
+The serving loop of a deployed recognizer must keep emitting decisions
+*through* faults — flaky reader transports, a DSP stage blowing up on
+degenerate windows, inference running past its real-time budget.  This
+package supplies the supervision layer:
+
+* :mod:`repro.runtime.retry` — exponential backoff with full jitter
+  under a deadline budget, deterministic via a seeded jitter RNG;
+* :mod:`repro.runtime.breaker` — per-stage circuit breakers and the
+  :func:`~repro.runtime.breaker.stage_boundary` guard protocol library
+  stages opt into;
+* :mod:`repro.runtime.supervisor` — the
+  :class:`~repro.runtime.supervisor.PipelineSupervisor` driving a
+  :class:`~repro.core.streaming.StreamingIdentifier` over a bounded
+  queue with dead-lettering and a HEALTHY/DEGRADED/FAILED health
+  report.
+
+Quickstart::
+
+    from repro.runtime import PipelineSupervisor
+
+    supervisor = PipelineSupervisor(identifier, window_deadline_s=2.0)
+    decisions = supervisor.process(stream_log)   # never raises per-window
+    print(supervisor.health().state)
+"""
+
+from repro.runtime.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    GuardSet,
+    StageFailureError,
+    active_guards,
+    guard_scope,
+    stage_boundary,
+)
+from repro.runtime.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+    backoff_delays,
+    call_with_retry,
+    retry,
+)
+from repro.runtime.supervisor import (
+    GUARDED_STAGES,
+    HEALTH_DEGRADED,
+    HEALTH_FAILED,
+    HEALTH_HEALTHY,
+    DeadLetter,
+    HealthReport,
+    PipelineSupervisor,
+)
+
+__all__ = [
+    "GUARDED_STAGES",
+    "HEALTH_DEGRADED",
+    "HEALTH_FAILED",
+    "HEALTH_HEALTHY",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadLetter",
+    "DeadlineExceededError",
+    "GuardSet",
+    "HealthReport",
+    "PipelineSupervisor",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "StageFailureError",
+    "active_guards",
+    "backoff_delays",
+    "call_with_retry",
+    "guard_scope",
+    "retry",
+    "stage_boundary",
+]

@@ -1,0 +1,329 @@
+"""Per-stage circuit breakers and the stage-guard protocol.
+
+A circuit breaker keeps a repeatedly failing stage from burning the
+window budget on work that cannot succeed: after ``failure_threshold``
+consecutive failures the breaker *opens* and calls are rejected
+outright; once ``reset_timeout_s`` has elapsed a single *half-open*
+probe is let through, and its outcome decides between closing the
+breaker and re-opening it.
+
+Library stages (DSP featurisation, network inference) do not know
+about breakers.  They mark themselves with :func:`stage_boundary`,
+which is a no-op until a supervisor installs a :class:`GuardSet` for
+the current thread via :func:`guard_scope`.  With guards installed, a
+boundary checks the stage's breaker (and the window deadline) on
+entry and records the outcome on exit; a failure inside the innermost
+boundary is wrapped in a stage-attributed :class:`StageFailureError`
+that outer boundaries pass through without double-counting.
+
+All timing uses an injectable monotonic clock so tests drive the
+open → half-open → closed cycle without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+from repro.obs.metrics import counter, gauge
+
+T = TypeVar("T")
+
+STATE_CLOSED = "closed"
+"""Breaker state: calls flow, consecutive failures are counted."""
+
+STATE_OPEN = "open"
+"""Breaker state: calls are rejected until the reset timeout."""
+
+STATE_HALF_OPEN = "half_open"
+"""Breaker state: one probe call decides closed vs open."""
+
+_STATE_VALUE = {STATE_CLOSED: 0.0, STATE_HALF_OPEN: 1.0, STATE_OPEN: 2.0}
+
+_TLS = threading.local()
+
+
+class CircuitOpenError(RuntimeError):
+    """Raised when a call is rejected by an open breaker.
+
+    Attributes:
+        stage: the guarded stage whose breaker is open.
+    """
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(f"circuit breaker for stage {stage!r} is open")
+        self.stage = stage
+
+
+class DeadlineExceededError(RuntimeError):
+    """Raised at a stage boundary once the window deadline has passed.
+
+    Attributes:
+        stage: the boundary at which the overrun was detected.
+    """
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(f"window deadline exceeded at stage {stage!r}")
+        self.stage = stage
+
+
+class StageFailureError(RuntimeError):
+    """A guarded stage raised; carries the stage attribution.
+
+    The original exception is chained as ``__cause__``.
+
+    Attributes:
+        stage: the innermost guarded stage that failed.
+    """
+
+    def __init__(self, stage: str, cause: BaseException) -> None:
+        super().__init__(f"stage {stage!r} failed: {cause!r}")
+        self.stage = stage
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one stage.
+
+    Args:
+        stage: name used in metrics and errors.
+        failure_threshold: consecutive failures that open the breaker.
+        reset_timeout_s: how long an open breaker rejects calls before
+            allowing a half-open probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.stage = stage
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        self.transitions: list[tuple[str, str]] = []
+
+    @property
+    def state(self) -> str:
+        """Current state (one of the ``STATE_*`` constants)."""
+        return self._state
+
+    def before_call(self) -> None:
+        """Admission check; call before running the guarded stage.
+
+        Raises:
+            CircuitOpenError: when the breaker is open (and the reset
+                timeout has not elapsed) or a half-open probe is
+                already in flight.
+        """
+        with self._lock:
+            if self._state == STATE_OPEN:
+                opened_at = self._opened_at if self._opened_at is not None else 0.0
+                if self.clock() - opened_at >= self.reset_timeout_s:
+                    self._transition(STATE_HALF_OPEN)
+                else:
+                    counter(
+                        "runtime.breaker.rejected_total", stage=self.stage
+                    ).inc()
+                    raise CircuitOpenError(self.stage)
+            if self._state == STATE_HALF_OPEN:
+                if self._probe_in_flight:
+                    counter(
+                        "runtime.breaker.rejected_total", stage=self.stage
+                    ).inc()
+                    raise CircuitOpenError(self.stage)
+                self._probe_in_flight = True
+
+    def record_success(self) -> None:
+        """Report a successful guarded call."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != STATE_CLOSED:
+                self._transition(STATE_CLOSED)
+
+    def record_failure(self) -> None:
+        """Report a failed guarded call; may open the breaker."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == STATE_HALF_OPEN:
+                self._probe_in_flight = False
+                self._open()
+            elif (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open()
+
+    def record_abort(self) -> None:
+        """Report a call that ended without a stage outcome.
+
+        Used when an *inner* stage failed: the outer stage neither
+        succeeded nor failed on its own, but a half-open probe slot it
+        claimed must be released so the breaker does not wedge.
+        """
+        with self._lock:
+            self._probe_in_flight = False
+
+    def reset(self) -> None:
+        """Force the breaker back to closed (operator action)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._opened_at = None
+            if self._state != STATE_CLOSED:
+                self._transition(STATE_CLOSED)
+
+    def call(self, fn: Callable[..., T], *args: object, **kwargs: object) -> T:
+        """Run ``fn`` through the breaker (standalone convenience).
+
+        Returns:
+            ``fn``'s return value.
+
+        Raises:
+            CircuitOpenError: when the breaker rejects the call.
+        """
+        self.before_call()
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def _open(self) -> None:
+        self._opened_at = self.clock()
+        counter("runtime.breaker.trips_total", stage=self.stage).inc()
+        self._transition(STATE_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        self._state = new_state
+        self.transitions.append((old_state, new_state))
+        counter(
+            "runtime.breaker.transitions_total",
+            stage=self.stage,
+            from_state=old_state,
+            to_state=new_state,
+        ).inc()
+        gauge("runtime.breaker.state", stage=self.stage).set(
+            _STATE_VALUE[new_state]
+        )
+
+
+class GuardSet:
+    """The per-window guard state a supervisor installs for one thread.
+
+    Args:
+        breakers: stage name → breaker for the guarded stages; stages
+            without a breaker pass through unguarded.
+        deadline: absolute monotonic deadline for the current window
+            (``None`` disables the check).
+        clock: monotonic time source matching ``deadline``.
+    """
+
+    def __init__(
+        self,
+        breakers: dict[str, CircuitBreaker],
+        deadline: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.breakers = breakers
+        self.deadline = deadline
+        self.clock = clock
+
+    def enter(self, stage: str) -> None:
+        """Admission check at a stage boundary.
+
+        Raises:
+            DeadlineExceededError: the window budget has run out.
+            CircuitOpenError: the stage's breaker rejects the call.
+        """
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise DeadlineExceededError(stage)
+        breaker = self.breakers.get(stage)
+        if breaker is not None:
+            breaker.before_call()
+
+    def success(self, stage: str) -> None:
+        """Record a successful stage completion."""
+        breaker = self.breakers.get(stage)
+        if breaker is not None:
+            breaker.record_success()
+
+    def failure(self, stage: str) -> None:
+        """Record a stage failure."""
+        breaker = self.breakers.get(stage)
+        if breaker is not None:
+            breaker.record_failure()
+
+    def release(self, stage: str) -> None:
+        """Release a stage without an outcome (inner stage failed)."""
+        breaker = self.breakers.get(stage)
+        if breaker is not None:
+            breaker.record_abort()
+
+
+@contextmanager
+def guard_scope(guards: GuardSet) -> Iterator[GuardSet]:
+    """Install ``guards`` for the current thread's stage boundaries."""
+    previous = getattr(_TLS, "guards", None)
+    _TLS.guards = guards
+    try:
+        yield guards
+    finally:
+        _TLS.guards = previous
+
+
+def active_guards() -> GuardSet | None:
+    """The guard set installed for the current thread, if any."""
+    return getattr(_TLS, "guards", None)
+
+
+@contextmanager
+def stage_boundary(stage: str) -> Iterator[None]:
+    """Mark a guarded pipeline stage.
+
+    A no-op (one thread-local read) when no supervisor has installed
+    guards, so library call sites pay nothing outside supervised runs.
+    Under guards: checks the deadline and the stage's breaker on
+    entry, records success/failure on exit, and wraps the innermost
+    failure in a stage-attributed :class:`StageFailureError`.
+
+    Raises:
+        CircuitOpenError: when the stage's breaker rejects the call.
+        DeadlineExceededError: when the window deadline has passed.
+        StageFailureError: when the guarded body raised (the original
+            exception is chained).
+    """
+    guards = getattr(_TLS, "guards", None)
+    if guards is None:
+        yield
+        return
+    guards.enter(stage)
+    try:
+        yield
+    except (StageFailureError, CircuitOpenError, DeadlineExceededError):
+        # Already attributed by an inner boundary (or an inner breaker
+        # rejection): release this stage's probe slot and pass through.
+        guards.release(stage)
+        raise
+    except Exception as exc:
+        guards.failure(stage)
+        raise StageFailureError(stage, exc) from exc
+    else:
+        guards.success(stage)

@@ -1,0 +1,196 @@
+"""Retrying with exponential backoff and full jitter.
+
+Ingest talks to hardware: a reader session can drop an LLRP
+connection, time out mid-inventory, or hiccup on the wire.  The
+paper's serving story assumes the stream keeps flowing, so transient
+transport failures are retried with the canonical full-jitter backoff
+(AWS architecture blog: sleep ``uniform(0, min(cap, base * 2**k))``)
+under an overall deadline budget.
+
+Determinism: the jitter source is a seeded ``np.random.default_rng``
+derived from the policy, and both the sleep function and the clock are
+injectable, so tests replay exact backoff schedules without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.obs.metrics import counter
+
+T = TypeVar("T")
+
+_TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
+"""Default retryable exception types (transport-flavoured)."""
+
+
+class RetryExhaustedError(RuntimeError):
+    """Raised when every attempt failed or the deadline budget ran out.
+
+    Attributes:
+        stage: logical stage name the retries were attributed to.
+        attempts: how many attempts were made.
+        elapsed_s: wall-clock spent across all attempts (by the
+            injected clock).
+    """
+
+    def __init__(self, stage: str, attempts: int, elapsed_s: float) -> None:
+        super().__init__(
+            f"stage {stage!r} failed after {attempts} attempt(s) "
+            f"({elapsed_s:.3f}s elapsed)"
+        )
+        self.stage = stage
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transient failure is retried.
+
+    Attributes:
+        max_attempts: total tries (first call included); must be >= 1.
+        base_delay_s: backoff base — attempt ``k`` (0-based failure
+            count) draws its sleep from
+            ``uniform(0, min(max_delay_s, base_delay_s * 2**k))``.
+        max_delay_s: backoff cap.
+        deadline_s: overall wall-clock budget across all attempts;
+            ``None`` disables the budget.
+        retry_on: exception types that count as transient; anything
+            else propagates immediately.
+        jitter_seed: seed of the jitter RNG (full determinism in
+            tests).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: float | None = None
+    retry_on: tuple[type[BaseException], ...] = _TRANSIENT_ERRORS
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+
+
+def backoff_delays(policy: RetryPolicy, rng: np.random.Generator) -> list[float]:
+    """The full-jitter sleep schedule a policy would draw from ``rng``.
+
+    Exposed so tests can assert the exact schedule ``call_with_retry``
+    replays (same policy + same seed = same delays).
+
+    Returns:
+        One delay per possible retry (``max_attempts - 1`` values).
+    """
+    delays = []
+    for k in range(policy.max_attempts - 1):
+        cap = min(policy.max_delay_s, policy.base_delay_s * (2.0**k))
+        delays.append(float(rng.uniform(0.0, cap)))
+    return delays
+
+
+def call_with_retry(
+    fn: Callable[..., T],
+    *args: object,
+    policy: RetryPolicy,
+    stage: str = "call",
+    rng: np.random.Generator | None = None,
+    sleep: Callable[[float], None] | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    **kwargs: object,
+) -> T:
+    """Call ``fn`` under ``policy``, retrying transient failures.
+
+    Args:
+        fn: the callable to invoke.
+        *args: positional arguments forwarded to ``fn``.
+        policy: retry behaviour.
+        stage: logical name used in metrics and error messages.
+        rng: jitter source; defaults to a fresh
+            ``default_rng(policy.jitter_seed)`` per call so the backoff
+            schedule is deterministic.
+        sleep: sleep function (injectable; defaults to ``time.sleep``).
+        clock: monotonic clock used for the deadline budget.
+        **kwargs: keyword arguments forwarded to ``fn``.
+
+    Returns:
+        ``fn``'s return value from the first successful attempt.
+
+    Raises:
+        RetryExhaustedError: when ``max_attempts`` failures accumulated
+            or the deadline budget ran out; the final failure is
+            chained as ``__cause__``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(policy.jitter_seed)
+    if sleep is None:
+        sleep = time.sleep
+    start = clock()
+    failures = 0
+    while True:
+        try:
+            result = fn(*args, **kwargs)
+        except policy.retry_on as exc:
+            failures += 1
+            counter("runtime.retry.attempts_total", stage=stage).inc()
+            elapsed = clock() - start
+            out_of_budget = (
+                policy.deadline_s is not None and elapsed >= policy.deadline_s
+            )
+            if failures >= policy.max_attempts or out_of_budget:
+                counter("runtime.retry.exhausted_total", stage=stage).inc()
+                raise RetryExhaustedError(stage, failures, elapsed) from exc
+            cap = min(
+                policy.max_delay_s, policy.base_delay_s * (2.0 ** (failures - 1))
+            )
+            delay = float(rng.uniform(0.0, cap))
+            if policy.deadline_s is not None:
+                delay = min(delay, max(policy.deadline_s - elapsed, 0.0))
+            if delay > 0.0:
+                sleep(delay)
+        else:
+            if failures:
+                counter("runtime.retry.recovered_total", stage=stage).inc()
+            return result
+
+
+def retry(
+    policy: RetryPolicy, stage: str | None = None
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Decorator form of :func:`call_with_retry`.
+
+    Args:
+        policy: retry behaviour applied to every call.
+        stage: metrics stage name (defaults to the function's
+            ``__qualname__``).
+
+    Returns:
+        A decorator wrapping the function in the retry loop.
+    """
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        name = stage if stage is not None else fn.__qualname__
+
+        def wrapper(*args: object, **kwargs: object) -> T:
+            return call_with_retry(fn, *args, policy=policy, stage=name, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

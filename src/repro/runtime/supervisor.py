@@ -1,0 +1,380 @@
+"""The pipeline supervisor: a supervised serving loop for streaming.
+
+:class:`~repro.core.streaming.StreamingIdentifier` is a pure function
+from a window to a decision; it raises when a stage breaks.  The
+supervisor wraps it in the process-level guarantees a deployment
+needs:
+
+* a **bounded backpressure queue** with a drop-oldest shed policy —
+  when windows arrive faster than they are served, the freshest data
+  wins and the shed count is observable;
+* **per-stage circuit breakers** (DSP featurisation stages and the
+  network forward) so a persistently failing stage degrades to the
+  identifier's existing abstain path instead of raising on every
+  window, and recovers through a timed half-open probe;
+* a **per-window wall-clock deadline** checked at stage boundaries
+  via a monotonic clock;
+* a **dead-letter buffer** retaining the last K failed windows with
+  their exceptions, so operators can inspect what was lost;
+* a :meth:`~PipelineSupervisor.health` report with an explicit
+  HEALTHY / DEGRADED / FAILED state machine.
+
+Every window submitted yields exactly one decision — labelled,
+abstained, or degraded — and no exception ever escapes the serving
+loop.  ``repro.core`` symbols are imported lazily inside methods to
+keep this module import-light (streaming imports the breaker
+boundaries from this package).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.metrics import counter, gauge
+from repro.runtime.breaker import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    GuardSet,
+    StageFailureError,
+    guard_scope,
+)
+from repro.obs.tracing import span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.streaming import StreamingIdentifier, WindowDecision
+    from repro.hardware.llrp import ReadLog
+
+HEALTH_HEALTHY = "healthy"
+"""Health state: every breaker closed, nothing shed or dead-lettered."""
+
+HEALTH_DEGRADED = "degraded"
+"""Health state: serving continues but something is wrong (a breaker
+not closed, shed windows, or dead letters)."""
+
+HEALTH_FAILED = "failed"
+"""Health state: no labelled decision can currently be produced (the
+predict breaker — or every DSP breaker — is open)."""
+
+GUARDED_STAGES = ("dsp.frames", "dsp.music", "dsp.periodogram", "predict")
+"""Stages the supervisor places circuit breakers on."""
+
+_DSP_STAGES = ("dsp.frames", "dsp.music", "dsp.periodogram")
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One failed window retained for inspection.
+
+    Attributes:
+        t_start_s: window start in stream time.
+        t_end_s: window end.
+        stage: guarded stage the failure was attributed to (the
+            catch-all ``"window"`` for unattributed failures).
+        error: ``repr`` of the exception that killed the window.
+        n_reads: reads the window held.
+    """
+
+    t_start_s: float
+    t_end_s: float
+    stage: str
+    error: str
+    n_reads: int
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Snapshot of the supervisor's serving health.
+
+    Attributes:
+        state: one of :data:`HEALTH_HEALTHY`, :data:`HEALTH_DEGRADED`,
+            :data:`HEALTH_FAILED`.
+        breaker_states: stage name → breaker state string.
+        queue_depth: windows currently enqueued.
+        queue_capacity: the bound on the queue.
+        shed_windows: windows dropped (oldest-first) by backpressure.
+        dead_letter_count: failed windows currently retained.
+        windows_total: windows fully processed so far.
+        windows_abstained: processed windows that abstained (for any
+            reason, including degradations).
+        windows_failed: processed windows that were dead-lettered.
+    """
+
+    state: str
+    breaker_states: dict[str, str]
+    queue_depth: int
+    queue_capacity: int
+    shed_windows: int
+    dead_letter_count: int
+    windows_total: int
+    windows_abstained: int
+    windows_failed: int
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "state": self.state,
+            "breaker_states": dict(self.breaker_states),
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "shed_windows": self.shed_windows,
+            "dead_letter_count": self.dead_letter_count,
+            "windows_total": self.windows_total,
+            "windows_abstained": self.windows_abstained,
+            "windows_failed": self.windows_failed,
+        }
+
+
+@dataclass(frozen=True)
+class _QueuedWindow:
+    t_start_s: float
+    log: "ReadLog"
+
+
+class PipelineSupervisor:
+    """Drives a :class:`StreamingIdentifier` with runtime supervision.
+
+    Args:
+        identifier: the fitted serving-path identifier.
+        max_queue: backpressure bound; submitting to a full queue
+            drops the *oldest* queued window (freshest data wins).
+        dead_letter_capacity: how many failed windows to retain.
+        window_deadline_s: per-window wall-clock budget (``None``
+            disables the deadline).
+        failure_threshold: consecutive failures that open a stage
+            breaker.
+        reset_timeout_s: open-breaker hold time before a half-open
+            probe.
+        clock: monotonic time source shared by deadlines and breakers
+            (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        identifier: "StreamingIdentifier",
+        max_queue: int = 64,
+        dead_letter_capacity: int = 16,
+        window_deadline_s: float | None = None,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if dead_letter_capacity < 1:
+            raise ValueError("dead_letter_capacity must be >= 1")
+        if window_deadline_s is not None and window_deadline_s <= 0:
+            raise ValueError("window_deadline_s must be positive when set")
+        self.identifier = identifier
+        self.max_queue = int(max_queue)
+        self.window_deadline_s = window_deadline_s
+        self.clock = clock
+        self.breakers = {
+            stage: CircuitBreaker(
+                stage,
+                failure_threshold=failure_threshold,
+                reset_timeout_s=reset_timeout_s,
+                clock=clock,
+            )
+            for stage in GUARDED_STAGES
+        }
+        self._queue: deque[_QueuedWindow] = deque()
+        self._dead_letters: deque[DeadLetter] = deque(maxlen=dead_letter_capacity)
+        self._shed = 0
+        self._windows_total = 0
+        self._abstained = 0
+        self._failed = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Windows currently waiting in the backpressure queue."""
+        return len(self._queue)
+
+    def dead_letters(self) -> list[DeadLetter]:
+        """The last K failed windows, oldest first."""
+        return list(self._dead_letters)
+
+    def submit(self, window_log: "ReadLog", t_start_s: float) -> int:
+        """Enqueue one window; shed the oldest entry when full.
+
+        Args:
+            window_log: the reads of one observation window.
+            t_start_s: the window's nominal start in stream time.
+
+        Returns:
+            Number of windows shed to make room (0 or 1).
+        """
+        shed = 0
+        if len(self._queue) >= self.max_queue:
+            self._queue.popleft()
+            self._shed += 1
+            shed = 1
+            counter("runtime.queue.shed_total").inc()
+        self._queue.append(_QueuedWindow(t_start_s=float(t_start_s), log=window_log))
+        gauge("runtime.queue.depth").set(float(len(self._queue)))
+        return shed
+
+    def submit_stream(self, log: "ReadLog") -> int:
+        """Cut a continuous log into windows and enqueue each.
+
+        Returns:
+            Number of complete windows enqueued.
+        """
+        from repro.core.streaming import split_windows
+
+        windows = split_windows(
+            log, self.identifier.window_s, self.identifier.hop_s
+        )
+        for t_start, window_log in windows:
+            self.submit(window_log, t_start)
+        return len(windows)
+
+    def drain(self) -> list["WindowDecision"]:
+        """Serve every queued window; one decision per window.
+
+        Decisions are emitted in queue order.  A window whose
+        processing fails at any stage degrades to an abstain decision
+        (and a dead letter) — this method never raises for a window.
+
+        Returns:
+            One :class:`WindowDecision` per drained window.
+        """
+        decisions = []
+        while self._queue:
+            item = self._queue.popleft()
+            gauge("runtime.queue.depth").set(float(len(self._queue)))
+            decisions.append(self._process_window(item))
+        return decisions
+
+    def process(self, log: "ReadLog") -> list["WindowDecision"]:
+        """Submit a continuous log and drain it: the one-call API.
+
+        Returns:
+            One decision per complete window of ``log`` (minus any
+            windows shed by backpressure).
+        """
+        self.submit_stream(log)
+        return self.drain()
+
+    def health(self) -> HealthReport:
+        """The HEALTHY / DEGRADED / FAILED health snapshot.
+
+        FAILED when no labelled decision can currently be produced:
+        the ``predict`` breaker is open, or every DSP featurisation
+        breaker is open.  DEGRADED when serving continues but any
+        breaker is not closed, windows were shed, or dead letters are
+        retained.  HEALTHY otherwise.
+        """
+        states = {stage: b.state for stage, b in self.breakers.items()}
+        from repro.runtime.breaker import STATE_CLOSED, STATE_OPEN
+
+        if states["predict"] == STATE_OPEN or all(
+            states[stage] == STATE_OPEN for stage in _DSP_STAGES
+        ):
+            state = HEALTH_FAILED
+        elif (
+            any(s != STATE_CLOSED for s in states.values())
+            or self._shed > 0
+            or len(self._dead_letters) > 0
+        ):
+            state = HEALTH_DEGRADED
+        else:
+            state = HEALTH_HEALTHY
+        return HealthReport(
+            state=state,
+            breaker_states=states,
+            queue_depth=len(self._queue),
+            queue_capacity=self.max_queue,
+            shed_windows=self._shed,
+            dead_letter_count=len(self._dead_letters),
+            windows_total=self._windows_total,
+            windows_abstained=self._abstained,
+            windows_failed=self._failed,
+        )
+
+    def _process_window(self, item: _QueuedWindow) -> "WindowDecision":
+        """Serve one window under guards; always returns a decision."""
+        from repro.core.streaming import (
+            REASON_BREAKER_OPEN,
+            REASON_DEADLINE,
+            REASON_STAGE_FAILURE,
+            abstain_decision,
+        )
+
+        t_end = item.t_start_s + self.identifier.window_s
+        n_reads = item.log.n_reads
+        t_begin = self.clock()
+        deadline = (
+            None
+            if self.window_deadline_s is None
+            else t_begin + self.window_deadline_s
+        )
+        guards = GuardSet(self.breakers, deadline=deadline, clock=self.clock)
+        decision: "WindowDecision"
+        with span("runtime.window", t_start_s=item.t_start_s):
+            try:
+                with guard_scope(guards):
+                    decision = self.identifier.identify_window(
+                        item.log, item.t_start_s
+                    )
+            except CircuitOpenError as exc:
+                decision = abstain_decision(
+                    item.t_start_s, t_end, n_reads, REASON_BREAKER_OPEN
+                )
+                self._dead_letter(item, t_end, exc.stage, exc)
+            except DeadlineExceededError as exc:
+                counter("runtime.deadline_exceeded_total").inc()
+                decision = abstain_decision(
+                    item.t_start_s, t_end, n_reads, REASON_DEADLINE
+                )
+                self._dead_letter(item, t_end, exc.stage, exc)
+            except StageFailureError as exc:
+                decision = abstain_decision(
+                    item.t_start_s, t_end, n_reads, REASON_STAGE_FAILURE
+                )
+                self._dead_letter(item, t_end, exc.stage, exc.__cause__ or exc)
+            except Exception as exc:
+                # Unattributed failure (calibration, windowing, ...):
+                # still degrade to an abstain, never escape.
+                decision = abstain_decision(
+                    item.t_start_s, t_end, n_reads, REASON_STAGE_FAILURE
+                )
+                self._dead_letter(item, t_end, "window", exc)
+            else:
+                if deadline is not None and self.clock() > deadline:
+                    # Completed, but past budget: a late decision is
+                    # useless to a real-time consumer.
+                    counter("runtime.deadline_exceeded_total").inc()
+                    self._dead_letter(
+                        item, t_end, "window", DeadlineExceededError("window")
+                    )
+                    decision = abstain_decision(
+                        item.t_start_s, t_end, n_reads, REASON_DEADLINE
+                    )
+        self._windows_total += 1
+        counter("runtime.windows_total").inc()
+        if decision.abstained:
+            self._abstained += 1
+        return decision
+
+    def _dead_letter(
+        self,
+        item: _QueuedWindow,
+        t_end: float,
+        stage: str,
+        exc: BaseException,
+    ) -> None:
+        self._failed += 1
+        counter("runtime.dead_letter_total", stage=stage).inc()
+        self._dead_letters.append(
+            DeadLetter(
+                t_start_s=item.t_start_s,
+                t_end_s=t_end,
+                stage=stage,
+                error=repr(exc),
+                n_reads=item.log.n_reads,
+            )
+        )

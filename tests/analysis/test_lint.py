@@ -83,6 +83,12 @@ BAD_EXAMPLES: dict[str, tuple[str, str]] = {
         "    def act(self):\n"
         "        return 1\n",
     ),
+    "RPR010": (
+        "module.py",
+        "import time\n"
+        "def elapsed(t0):\n"
+        "    return time.time() - t0\n",
+    ),
 }
 
 GOOD_EXAMPLES: dict[str, tuple[str, str]] = {
@@ -151,6 +157,12 @@ GOOD_EXAMPLES: dict[str, tuple[str, str]] = {
         "        return 1\n"
         "    def _helper(self):\n"
         "        return 2\n",
+    ),
+    "RPR010": (
+        "module.py",
+        "import time\n"
+        "def elapsed(t0):\n"
+        "    return time.monotonic() - t0\n",
     ),
 }
 
@@ -274,6 +286,21 @@ def test_docstring_rule_exempts_property_setters():
         "        self._v = v\n"
     )
     assert codes(lint_source(src, path="src/repro/x.py")) == []
+
+
+def test_wall_clock_interval_flagged():
+    src = "import time\nstart = time.time()\n"
+    assert codes(lint_source(src)) == ["RPR010"]
+
+
+def test_monotonic_and_perf_counter_clean():
+    src = "import time\na = time.monotonic()\nb = time.perf_counter()\n"
+    assert codes(lint_source(src)) == []
+
+
+def test_epoch_stamp_suppression_allows_wall_clock():
+    src = "import time\nstamp = time.time()  # reprolint: disable=RPR010\n"
+    assert codes(lint_source(src)) == []
 
 
 def test_docstring_rule_skips_tests_and_scripts():

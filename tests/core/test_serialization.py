@@ -1,12 +1,20 @@
-"""Pipeline save/load round-trips."""
+"""Pipeline save/load round-trips, atomicity, and corruption handling."""
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core import ActivityDataset, M2AIConfig, M2AIPipeline
-from repro.core.serialization import load_pipeline, save_pipeline
+from repro.core.serialization import (
+    CheckpointError,
+    load_pipeline,
+    load_training_checkpoint,
+    save_pipeline,
+    save_training_checkpoint,
+)
 from repro.dsp.frames import FeatureFrames
 
 CFG = M2AIConfig(
@@ -79,6 +87,168 @@ class TestRoundTrip:
         restored.fine_tune(ds, epochs=2)
         result = restored.evaluate(ds)
         assert result.accuracy > 0.8
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_files(self, fitted, tmp_path):
+        pipeline, _ds = fitted
+        save_pipeline(pipeline, tmp_path / "model.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_failed_save_preserves_the_old_checkpoint(self, fitted, tmp_path):
+        pipeline, ds = fitted
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        before = path.read_bytes()
+        # A crash mid-write (here: an array-like that explodes during
+        # conversion) must leave the previous complete checkpoint
+        # untouched and no debris.
+        class Exploding:
+            def __array__(self, dtype=None, copy=None):
+                raise RuntimeError("disk full")
+
+        from repro.core.serialization import _atomic_savez
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            _atomic_savez(path, {"manifest": "x", "param_0000": Exploding()})
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+        np.testing.assert_array_equal(
+            load_pipeline(path).predict(ds), pipeline.predict(ds)
+        )
+
+
+class TestCorruptCheckpoints:
+    def test_missing_file_names_the_path(self, tmp_path):
+        missing = tmp_path / "nope.npz"
+        with pytest.raises(CheckpointError, match="does not exist") as err:
+            load_pipeline(missing)
+        assert err.value.path == str(missing)
+
+    def test_non_archive_bytes_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError, match="not a readable"):
+            load_pipeline(path)
+
+    def test_truncated_archive_rejected(self, fitted, tmp_path):
+        pipeline, _ds = fitted
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError):
+            load_pipeline(path)
+
+    def test_missing_manifest_is_attributed(self, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, param_0000=np.zeros(3))
+        with pytest.raises(CheckpointError) as err:
+            load_pipeline(path)
+        assert err.value.field == "manifest"
+
+    def test_invalid_manifest_json_is_attributed(self, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, manifest="{not json")
+        with pytest.raises(CheckpointError, match="not valid JSON") as err:
+            load_pipeline(path)
+        assert err.value.field == "manifest"
+
+    def test_missing_manifest_field_is_attributed(self, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, manifest=json.dumps({"format_version": 1}))
+        with pytest.raises(CheckpointError) as err:
+            load_pipeline(path)
+        assert err.value.field == "config"
+
+    def test_version_mismatch_is_attributed(self, tmp_path):
+        path = tmp_path / "model.npz"
+        np.savez(path, manifest=json.dumps({"format_version": 99}))
+        with pytest.raises(CheckpointError, match="unsupported") as err:
+            load_pipeline(path)
+        assert err.value.field == "format_version"
+
+    def test_checkpoint_error_is_a_value_error(self):
+        # Callers catching the historical ValueError keep working.
+        assert issubclass(CheckpointError, ValueError)
+
+
+class TestTrainingCheckpoint:
+    def _state(self):
+        rng = np.random.default_rng(0)
+        return {
+            "epoch": 4,
+            "model_state": [rng.normal(size=(3, 2)), rng.normal(size=5)],
+            "optimizer_state": {
+                "lr": 0.01,
+                "velocity": [rng.normal(size=(3, 2)), rng.normal(size=5)],
+            },
+            "rng_state": rng.bit_generator.state,
+            "history": {
+                "loss": [1.0, 0.5],
+                "train_accuracy": [0.5, 0.8],
+                "val_accuracy": [],
+            },
+            "best_val": 0.8,
+            "best_state": None,
+            "model_rng_states": [np.random.default_rng(7).bit_generator.state],
+        }
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "train.npz"
+        state = self._state()
+        save_training_checkpoint(path, **state)
+        loaded = load_training_checkpoint(path)
+        assert loaded["epoch"] == state["epoch"]
+        assert loaded["best_val"] == state["best_val"]
+        assert loaded["rng_state"] == state["rng_state"]
+        assert loaded["history"] == state["history"]
+        assert loaded["best_state"] is None
+        assert loaded["model_rng_states"] == state["model_rng_states"]
+        for a, b in zip(loaded["model_state"], state["model_state"]):
+            assert np.array_equal(a, b)
+        for a, b in zip(
+            loaded["optimizer_state"]["velocity"],
+            state["optimizer_state"]["velocity"],
+        ):
+            assert np.array_equal(a, b)
+        assert loaded["optimizer_state"]["lr"] == 0.01
+
+    def test_legacy_checkpoint_without_model_rngs_loads(self, tmp_path):
+        # Checkpoints written before dropout RNG capture lack the
+        # field; they must load with an empty list, not crash.
+        path = tmp_path / "train.npz"
+        state = self._state()
+        state.pop("model_rng_states")
+        save_training_checkpoint(path, **state)
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"]))
+        manifest.pop("model_rng_states")
+        arrays = dict(np.load(path, allow_pickle=False))
+        arrays["manifest"] = json.dumps(manifest)
+        np.savez(path, **arrays)
+        assert load_training_checkpoint(path)["model_rng_states"] == []
+
+    def test_missing_slot_array_is_attributed(self, tmp_path):
+        path = tmp_path / "train.npz"
+        save_training_checkpoint(path, **self._state())
+        arrays = dict(np.load(path, allow_pickle=False))
+        del arrays["opt_velocity_0001"]
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError) as err:
+            load_training_checkpoint(path)
+        assert err.value.field == "opt_velocity_0001"
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "train.npz"
+        save_training_checkpoint(path, **self._state())
+        arrays = dict(np.load(path, allow_pickle=False))
+        manifest = json.loads(str(arrays["manifest"]))
+        manifest["format_version"] = 42
+        arrays["manifest"] = json.dumps(manifest)
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError) as err:
+            load_training_checkpoint(path)
+        assert err.value.field == "format_version"
 
 
 class TestFineTune:

@@ -50,6 +50,7 @@ class TestExperimentRegistry:
             "ext-realtime",
             "ext-robustness",
             "ext-batching",
+            "ext-resilience",
         } == set(EXTENSIONS)
 
     def test_drivers_are_callable_with_standard_signature(self):

@@ -1,0 +1,158 @@
+"""Ingest retries: flaky reader transports and hub degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.geometry import Vec2, make_open_space
+from repro.hardware import (
+    AntennaHub,
+    Reader,
+    ReaderConfig,
+    UniformLinearArray,
+    make_tag,
+    merge_hub_features,
+    stationary_scene,
+)
+from repro.runtime import RetryExhaustedError, RetryPolicy
+
+FAST_POLICY = RetryPolicy(max_attempts=4, base_delay_s=0.0, max_delay_s=0.0)
+
+
+class FlakyReader(Reader):
+    """A reader whose transport drops the first ``fail_attempts`` calls."""
+
+    def __init__(self, *args, fail_attempts: int = 0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fail_attempts = fail_attempts
+        self.attempts = 0
+
+    def _inventory_once(self, scene, duration_s, t0=0.0):
+        self.attempts += 1
+        if self.attempts <= self.fail_attempts:
+            raise ConnectionError(f"LLRP connection dropped #{self.attempts}")
+        return super()._inventory_once(scene, duration_s, t0)
+
+
+def make_flaky(fail_attempts: int, policy: RetryPolicy | None) -> FlakyReader:
+    array = UniformLinearArray(center=Vec2(0.0, 0.0))
+    return FlakyReader(
+        ReaderConfig(array=array),
+        make_open_space(),
+        seed=0,
+        retry_policy=policy,
+        fail_attempts=fail_attempts,
+    )
+
+
+def one_tag_scene():
+    rng = np.random.default_rng(0)
+    return stationary_scene([(make_tag("T0", rng), (3.0, 3.0))])
+
+
+class TestReaderRetry:
+    def test_transient_failures_are_retried_to_success(self):
+        reader = make_flaky(fail_attempts=3, policy=FAST_POLICY)
+        log = reader.inventory(one_tag_scene(), duration_s=1.0)
+        assert reader.attempts == 4
+        assert log.n_reads > 0
+
+    def test_retried_log_equals_the_unflaky_log(self):
+        # Retries must not perturb the session RNG stream: the log
+        # after 2 dropped attempts is the log a healthy reader with the
+        # same seed produces.
+        flaky = make_flaky(fail_attempts=2, policy=FAST_POLICY)
+        clean = make_flaky(fail_attempts=0, policy=None)
+        log_a = flaky.inventory(one_tag_scene(), duration_s=1.0)
+        log_b = clean.inventory(one_tag_scene(), duration_s=1.0)
+        assert np.array_equal(log_a.phase_rad, log_b.phase_rad)
+        assert np.array_equal(log_a.timestamp_s, log_b.timestamp_s)
+
+    def test_exhaustion_surfaces_with_stage_attribution(self):
+        reader = make_flaky(fail_attempts=99, policy=FAST_POLICY)
+        with pytest.raises(RetryExhaustedError) as err:
+            reader.inventory(one_tag_scene(), duration_s=1.0)
+        assert err.value.stage == "ingest.inventory"
+        assert err.value.attempts == FAST_POLICY.max_attempts
+        assert isinstance(err.value.__cause__, ConnectionError)
+
+    def test_no_policy_fails_on_first_transport_error(self):
+        reader = make_flaky(fail_attempts=1, policy=None)
+        with pytest.raises(ConnectionError):
+            reader.inventory(one_tag_scene(), duration_s=1.0)
+        assert reader.attempts == 1
+
+    def test_non_transient_errors_are_not_retried(self):
+        # Validation errors are not transport flavoured: one attempt,
+        # raw propagation, no retry burn.
+        reader = make_flaky(fail_attempts=0, policy=FAST_POLICY)
+        with pytest.raises(ValueError):
+            reader.inventory(one_tag_scene(), duration_s=0.0)
+        assert reader.attempts == 1
+
+
+class TestHubDegradation:
+    def _hub(self, degrade: bool) -> AntennaHub:
+        arrays = (
+            UniformLinearArray(center=Vec2(0.0, 0.0)),
+            UniformLinearArray(center=Vec2(4.0, 0.0)),
+        )
+        hub = AntennaHub(
+            room=make_open_space(),
+            arrays=arrays,
+            retry_policy=FAST_POLICY,
+            degrade_on_member_failure=degrade,
+        )
+        return hub
+
+    def _break_member(self, hub: AntennaHub, index: int) -> None:
+        def always_down(scene, duration_s, t0=0.0):
+            raise ConnectionError("member offline")
+
+        hub.readers[index]._inventory_once = always_down
+
+    def test_degraded_member_becomes_none(self):
+        obs.enable()
+        hub = self._hub(degrade=True)
+        self._break_member(hub, 1)
+        logs = hub.inventory(one_tag_scene(), duration_s=1.0)
+        assert logs[0] is not None and logs[0].n_reads > 0
+        assert logs[1] is None
+        metrics = {
+            m.name: m.value
+            for m in obs.get_registry().collect()
+            if m.kind == "counter"
+        }
+        assert metrics["runtime.ingest.member_lost_total"] == 1.0
+        obs.disable()
+        obs.reset()
+
+    def test_without_degradation_the_failure_propagates(self):
+        hub = self._hub(degrade=False)
+        self._break_member(hub, 1)
+        with pytest.raises(RetryExhaustedError):
+            hub.inventory(one_tag_scene(), duration_s=1.0)
+
+    def test_merge_zero_fills_the_lost_view(self):
+        from repro.dsp.features import M2AIFeaturizer
+
+        hub = self._hub(degrade=True)
+        self._break_member(hub, 1)
+        logs = hub.inventory(one_tag_scene(), duration_s=1.0)
+        featurizer = M2AIFeaturizer()
+        from repro.dsp.calibration import uncalibrated
+
+        per_array = [
+            featurizer.transform(log, uncalibrated(log), n_frames=2)
+            if log is not None
+            else None
+            for log in logs
+        ]
+        merged = merge_hub_features(per_array)
+        live = {k: v for k, v in merged.channels.items() if k.endswith("@0")}
+        dead = {k: v for k, v in merged.channels.items() if k.endswith("@1")}
+        assert live and dead
+        assert any(np.abs(v).sum() > 0 for v in live.values())
+        assert all(np.abs(v).sum() == 0 for v in dead.values())

@@ -1,0 +1,107 @@
+"""Shared fixtures for the runtime supervision tests.
+
+The supervisor is exercised against a *stub* inference pipeline over a
+synthetic read log, so the real DSP featurisation path runs (frames,
+MUSIC, periodogram — the guarded stages) without paying for network
+training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.streaming import StreamingIdentifier
+from repro.hardware import ReadLog, ReaderMeta
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+N_CHANNELS = 50
+REFERENCE = 15
+
+
+def make_log(
+    n: int = 900, seed: int = 0, n_antennas: int = 4, duration_s: float = 8.0
+) -> ReadLog:
+    """A synthetic but structurally valid multi-tag read log."""
+    meta = ReaderMeta(
+        n_antennas=n_antennas,
+        slot_s=0.025,
+        dwell_s=0.4,
+        spacing_m=0.04,
+        frequencies_hz=np.linspace(902.75e6, 927.25e6, N_CHANNELS),
+        reference_channel=REFERENCE,
+    )
+    rng = np.random.default_rng(seed)
+    channel = rng.integers(0, N_CHANNELS, n)
+    return ReadLog(
+        epcs=("A", "B", "C"),
+        tag_index=rng.integers(0, 3, n),
+        antenna=rng.integers(0, n_antennas, n),
+        channel=channel,
+        frequency_hz=meta.frequencies_hz[channel],
+        timestamp_s=np.sort(rng.uniform(0.0, duration_s, n)),
+        phase_rad=rng.uniform(0, 2 * np.pi, n),
+        rssi_dbm=rng.uniform(-80, -50, n),
+        meta=meta,
+    )
+
+
+class StubPipeline:
+    """Deterministic content-dependent stand-in for a fitted pipeline.
+
+    ``predict_proba`` derives each sample's class scores from the
+    sample's own feature content, so batched (``identify``) and
+    per-window (``identify_window``) serving can be compared decision
+    for decision without training a network.
+    """
+
+    classes = ("wave", "walk")
+    model = object()  # non-None: StreamingIdentifier's fitted check
+
+    def predict_proba(self, dataset) -> np.ndarray:
+        rows = []
+        for sample in dataset.samples:
+            name = sorted(sample.channels)[0]
+            s = float(np.tanh(np.mean(sample.channels[name])))
+            p = 0.5 + 0.4 * s
+            rows.append([p, 1.0 - p])
+        return np.asarray(rows, dtype=np.float64)
+
+
+class FailingPipeline(StubPipeline):
+    """A pipeline whose inference always raises (breaker fodder)."""
+
+    def predict_proba(self, dataset) -> np.ndarray:
+        raise RuntimeError("inference exploded")
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self, t: float = 0.0, step: float = 0.0) -> None:
+        self.t = t
+        self.step = step
+
+    def __call__(self) -> float:
+        now = self.t
+        self.t += self.step
+        return now
+
+
+@pytest.fixture(scope="module")
+def stream_log() -> ReadLog:
+    return make_log()
+
+
+@pytest.fixture()
+def identifier() -> StreamingIdentifier:
+    return StreamingIdentifier(StubPipeline(), window_s=4.0, min_reads=16)

@@ -1,0 +1,264 @@
+"""Circuit breaker state machine and the stage-guard protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.runtime import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    GuardSet,
+    StageFailureError,
+    guard_scope,
+    stage_boundary,
+)
+from repro.runtime.breaker import STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN
+
+from .conftest import FakeClock
+
+
+def make_breaker(
+    clock: FakeClock | None = None,
+    failure_threshold: int = 3,
+    reset_timeout_s: float = 10.0,
+) -> CircuitBreaker:
+    return CircuitBreaker(
+        "stage.x",
+        failure_threshold=failure_threshold,
+        reset_timeout_s=reset_timeout_s,
+        clock=clock or FakeClock(),
+    )
+
+
+class TestValidation:
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("s", failure_threshold=0)
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("s", reset_timeout_s=0.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_admits(self):
+        b = make_breaker()
+        assert b.state == STATE_CLOSED
+        b.before_call()  # must not raise
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = make_breaker(failure_threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == STATE_CLOSED
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        with pytest.raises(CircuitOpenError) as err:
+            b.before_call()
+        assert err.value.stage == "stage.x"
+
+    def test_success_resets_the_failure_streak(self):
+        b = make_breaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == STATE_CLOSED
+
+    def test_full_open_half_open_closed_cycle(self):
+        clock = FakeClock()
+        b = make_breaker(clock, failure_threshold=1, reset_timeout_s=10.0)
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        clock.t = 5.0
+        with pytest.raises(CircuitOpenError):
+            b.before_call()  # still inside the hold-off
+        clock.t = 10.0
+        b.before_call()  # timeout elapsed: half-open probe admitted
+        assert b.state == STATE_HALF_OPEN
+        b.record_success()
+        assert b.state == STATE_CLOSED
+        assert b.transitions == [
+            (STATE_CLOSED, STATE_OPEN),
+            (STATE_OPEN, STATE_HALF_OPEN),
+            (STATE_HALF_OPEN, STATE_CLOSED),
+        ]
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        b = make_breaker(clock, failure_threshold=1, reset_timeout_s=10.0)
+        b.record_failure()
+        clock.t = 11.0
+        b.before_call()
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        # The re-open restarts the hold-off from the probe failure.
+        clock.t = 12.0
+        with pytest.raises(CircuitOpenError):
+            b.before_call()
+
+    def test_single_probe_slot(self):
+        clock = FakeClock()
+        b = make_breaker(clock, failure_threshold=1, reset_timeout_s=10.0)
+        b.record_failure()
+        clock.t = 10.0
+        b.before_call()  # probe in flight
+        with pytest.raises(CircuitOpenError):
+            b.before_call()  # second caller rejected
+
+    def test_record_abort_releases_the_probe_slot(self):
+        clock = FakeClock()
+        b = make_breaker(clock, failure_threshold=1, reset_timeout_s=10.0)
+        b.record_failure()
+        clock.t = 10.0
+        b.before_call()
+        b.record_abort()  # probe ended with no stage outcome
+        b.before_call()  # slot free again; still half-open
+        assert b.state == STATE_HALF_OPEN
+
+    def test_reset_forces_closed(self):
+        b = make_breaker(failure_threshold=1)
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        b.reset()
+        assert b.state == STATE_CLOSED
+        b.before_call()
+
+
+class TestCallConvenience:
+    def test_success_passes_through(self):
+        b = make_breaker()
+        assert b.call(lambda x: x + 1, 41) == 42
+
+    def test_failures_trip_then_reject(self):
+        b = make_breaker(failure_threshold=2)
+
+        def boom() -> None:
+            raise RuntimeError("bad")
+
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                b.call(boom)
+        with pytest.raises(CircuitOpenError):
+            b.call(boom)
+
+
+class TestMetrics:
+    def test_trip_and_rejection_counters(self):
+        obs.enable()
+        b = make_breaker(failure_threshold=1)
+        b.record_failure()
+        with pytest.raises(CircuitOpenError):
+            b.before_call()
+        metrics = {m.name: m.value for m in obs.get_registry().collect()}
+        assert metrics["runtime.breaker.trips_total"] == 1.0
+        assert metrics["runtime.breaker.rejected_total"] == 1.0
+        assert metrics["runtime.breaker.state"] == 2.0  # open
+
+
+class TestStageBoundary:
+    def test_no_op_without_guards(self):
+        with stage_boundary("predict"):
+            pass  # no supervisor installed: nothing to trip over
+
+    def test_exception_without_guards_is_untouched(self):
+        with pytest.raises(ValueError):
+            with stage_boundary("predict"):
+                raise ValueError("raw")
+
+    def test_failure_is_wrapped_and_attributed(self):
+        b = make_breaker(failure_threshold=3)
+        guards = GuardSet({"stage.x": b})
+        with pytest.raises(StageFailureError) as err:
+            with guard_scope(guards):
+                with stage_boundary("stage.x"):
+                    raise RuntimeError("inner boom")
+        assert err.value.stage == "stage.x"
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_success_and_failure_feed_the_breaker(self):
+        b = make_breaker(failure_threshold=2)
+        guards = GuardSet({"stage.x": b})
+        with guard_scope(guards):
+            for _ in range(2):
+                with pytest.raises(StageFailureError):
+                    with stage_boundary("stage.x"):
+                        raise RuntimeError("boom")
+        assert b.state == STATE_OPEN
+
+    def test_open_breaker_rejects_at_the_boundary(self):
+        b = make_breaker(failure_threshold=1)
+        b.record_failure()
+        guards = GuardSet({"stage.x": b})
+        with guard_scope(guards):
+            with pytest.raises(CircuitOpenError):
+                with stage_boundary("stage.x"):
+                    raise AssertionError("body must not run")
+
+    def test_inner_failure_passes_outer_boundary_without_double_count(self):
+        inner = make_breaker(failure_threshold=1)
+        outer = make_breaker(failure_threshold=1)
+        guards = GuardSet({"inner": inner, "outer": outer})
+        with guard_scope(guards):
+            with pytest.raises(StageFailureError) as err:
+                with stage_boundary("outer"):
+                    with stage_boundary("inner"):
+                        raise RuntimeError("boom")
+        # Attribution stays with the innermost stage; the outer breaker
+        # records neither success nor failure.
+        assert err.value.stage == "inner"
+        assert inner.state == STATE_OPEN
+        assert outer.state == STATE_CLOSED
+
+    def test_inner_failure_releases_outer_half_open_probe(self):
+        # Regression: an outer probe claimed before an inner failure
+        # must be released, or the outer breaker wedges half-open.
+        clock = FakeClock()
+        inner = make_breaker(clock, failure_threshold=1)
+        outer = make_breaker(clock, failure_threshold=1, reset_timeout_s=10.0)
+        outer.record_failure()
+        clock.t = 10.0
+        guards = GuardSet({"inner": inner, "outer": outer}, clock=clock)
+        with guard_scope(guards):
+            with pytest.raises(StageFailureError):
+                with stage_boundary("outer"):  # claims the probe slot
+                    with stage_boundary("inner"):
+                        raise RuntimeError("boom")
+            # The probe slot must be free for the next window.
+            with stage_boundary("outer"):
+                pass
+        assert outer.state == STATE_CLOSED
+
+    def test_unguarded_stage_passes_through(self):
+        guards = GuardSet({})
+        with guard_scope(guards):
+            with stage_boundary("not.guarded"):
+                pass
+
+    def test_scope_restores_previous_guards(self):
+        from repro.runtime.breaker import active_guards
+
+        g1 = GuardSet({})
+        g2 = GuardSet({})
+        with guard_scope(g1):
+            with guard_scope(g2):
+                assert active_guards() is g2
+            assert active_guards() is g1
+        assert active_guards() is None
+
+
+class TestGuardDeadline:
+    def test_expired_deadline_raises_before_the_breaker(self):
+        clock = FakeClock(t=5.0)
+        b = make_breaker(failure_threshold=1)
+        b.record_failure()  # open — but the deadline must win
+        guards = GuardSet({"stage.x": b}, deadline=4.0, clock=clock)
+        with pytest.raises(DeadlineExceededError) as err:
+            guards.enter("stage.x")
+        assert err.value.stage == "stage.x"
+
+    def test_live_deadline_admits(self):
+        clock = FakeClock(t=1.0)
+        guards = GuardSet({}, deadline=4.0, clock=clock)
+        guards.enter("anything")

@@ -1,0 +1,204 @@
+"""Retry loop: deterministic backoff, exhaustion, deadline budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.runtime import (
+    RetryExhaustedError,
+    RetryPolicy,
+    backoff_delays,
+    call_with_retry,
+    retry,
+)
+
+
+class Flaky:
+    """Raises ``exc`` for the first ``n_failures`` calls, then returns."""
+
+    def __init__(self, n_failures: int, exc: type[Exception] = ConnectionError):
+        self.n_failures = n_failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.exc(f"boom #{self.calls}")
+        return "ok"
+
+
+class TestPolicyValidation:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+
+class TestBackoffSchedule:
+    def test_sleeps_replay_the_published_schedule(self):
+        # Same policy + same seed must reproduce backoff_delays exactly:
+        # this is the determinism contract the bench relies on.
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.05, max_delay_s=0.3, jitter_seed=7
+        )
+        expected = backoff_delays(policy, np.random.default_rng(7))
+        slept: list[float] = []
+        result = call_with_retry(
+            Flaky(4), policy=policy, stage="t", sleep=slept.append
+        )
+        assert result == "ok"
+        assert slept == expected[:4]
+
+    def test_delays_respect_the_cap(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_s=1.0, max_delay_s=0.25, jitter_seed=3
+        )
+        delays = backoff_delays(policy, np.random.default_rng(3))
+        assert len(delays) == 7
+        assert all(0.0 <= d <= 0.25 for d in delays)
+
+    def test_zero_base_delay_never_sleeps(self):
+        slept: list[float] = []
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.0, max_delay_s=0.0)
+        call_with_retry(Flaky(3), policy=policy, sleep=slept.append)
+        assert slept == []
+
+
+class TestOutcomes:
+    def test_first_attempt_success_is_untouched(self):
+        fn = Flaky(0)
+        assert call_with_retry(fn, policy=RetryPolicy(), sleep=lambda _: None) == "ok"
+        assert fn.calls == 1
+
+    def test_exhaustion_raises_with_attribution(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        fn = Flaky(99)
+        with pytest.raises(RetryExhaustedError) as err:
+            call_with_retry(fn, policy=policy, stage="ingest", sleep=lambda _: None)
+        assert err.value.stage == "ingest"
+        assert err.value.attempts == 3
+        assert isinstance(err.value.__cause__, ConnectionError)
+        assert fn.calls == 3
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        fn = Flaky(99, exc=ValueError)
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            call_with_retry(fn, policy=policy, sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_custom_retry_on_narrows_the_net(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.0, retry_on=(TimeoutError,)
+        )
+        with pytest.raises(ConnectionError):
+            call_with_retry(Flaky(2), policy=policy, sleep=lambda _: None)
+
+    def test_args_and_kwargs_are_forwarded(self):
+        def add(a, b, *, c=0):
+            return a + b + c
+
+        assert (
+            call_with_retry(add, 1, 2, policy=RetryPolicy(), c=3, sleep=lambda _: None)
+            == 6
+        )
+
+
+class TestDeadlineBudget:
+    def test_budget_exhaustion_beats_max_attempts(self):
+        # Each failed attempt advances the fake clock by 1s; a 2.5s
+        # budget therefore allows 3 attempts even with max_attempts=10.
+        t = {"now": 0.0}
+
+        def clock() -> float:
+            return t["now"]
+
+        def failing() -> None:
+            t["now"] += 1.0
+            raise ConnectionError("slow boom")
+
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.0, deadline_s=2.5)
+        with pytest.raises(RetryExhaustedError) as err:
+            call_with_retry(
+                failing, policy=policy, sleep=lambda _: None, clock=clock
+            )
+        assert err.value.attempts == 3
+        assert err.value.elapsed_s == pytest.approx(3.0)
+
+    def test_sleep_is_clipped_to_remaining_budget(self):
+        t = {"now": 0.0}
+
+        def clock() -> float:
+            return t["now"]
+
+        def failing() -> None:
+            t["now"] += 0.4
+            raise ConnectionError("boom")
+
+        slept: list[float] = []
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_delay_s=10.0,
+            max_delay_s=10.0,
+            deadline_s=0.5,
+            jitter_seed=0,
+        )
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(
+                failing, policy=policy, sleep=slept.append, clock=clock
+            )
+        assert all(d <= 0.5 for d in slept)
+
+
+class TestMetrics:
+    def test_recovery_and_attempts_are_counted(self):
+        obs.enable()
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        call_with_retry(Flaky(2), policy=policy, stage="s1", sleep=lambda _: None)
+        metrics = {
+            (m.name, dict(m.labels).get("stage")): m.value
+            for m in obs.get_registry().collect()
+        }
+        assert metrics[("runtime.retry.attempts_total", "s1")] == 2.0
+        assert metrics[("runtime.retry.recovered_total", "s1")] == 1.0
+
+    def test_exhaustion_is_counted(self):
+        obs.enable()
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(
+                Flaky(9), policy=policy, stage="s2", sleep=lambda _: None
+            )
+        metrics = {
+            (m.name, dict(m.labels).get("stage")): m.value
+            for m in obs.get_registry().collect()
+        }
+        assert metrics[("runtime.retry.exhausted_total", "s2")] == 1.0
+
+
+class TestDecorator:
+    def test_decorated_function_retries_and_keeps_identity(self):
+        state = {"calls": 0}
+
+        @retry(RetryPolicy(max_attempts=3, base_delay_s=0.0), stage="deco")
+        def fetch() -> str:
+            """Fetch something."""
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise TimeoutError("not yet")
+            return "done"
+
+        assert fetch() == "done"
+        assert state["calls"] == 3
+        assert fetch.__name__ == "fetch"
+        assert fetch.__doc__ == "Fetch something."

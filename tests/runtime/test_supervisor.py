@@ -1,0 +1,225 @@
+"""PipelineSupervisor: queueing, degradation, deadlines, health."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.streaming import (
+    REASON_BREAKER_OPEN,
+    REASON_DEADLINE,
+    REASON_STAGE_FAILURE,
+    StreamingIdentifier,
+    split_windows,
+)
+from repro.runtime import (
+    HEALTH_DEGRADED,
+    HEALTH_FAILED,
+    HEALTH_HEALTHY,
+    PipelineSupervisor,
+)
+from repro.runtime.breaker import STATE_OPEN
+
+from .conftest import FailingPipeline, FakeClock, StubPipeline, make_log
+
+
+class TestSupervisedServing:
+    def test_matches_the_unsupervised_batched_path(self, identifier, stream_log):
+        # The supervisor must be a pure reliability wrapper: for a
+        # healthy pipeline its decisions equal identify()'s, window
+        # for window (the stub pipeline scores depend on the window's
+        # feature content, so this is a real equivalence check).
+        expected = identifier.identify(stream_log)
+        got = PipelineSupervisor(identifier).process(stream_log)
+        assert len(got) == len(expected) > 0
+        for d_sup, d_ref in zip(got, expected):
+            assert d_sup.t_start_s == d_ref.t_start_s
+            assert d_sup.label == d_ref.label
+            assert d_sup.confidence == pytest.approx(d_ref.confidence)
+            assert d_sup.reason == d_ref.reason
+
+    def test_submit_stream_counts_complete_windows(self, identifier, stream_log):
+        supervisor = PipelineSupervisor(identifier)
+        n = supervisor.submit_stream(stream_log)
+        assert n == len(split_windows(stream_log, identifier.window_s, None))
+        assert supervisor.queue_depth == n
+
+    def test_healthy_report_when_nothing_went_wrong(self, identifier, stream_log):
+        supervisor = PipelineSupervisor(identifier)
+        decisions = supervisor.process(stream_log)
+        report = supervisor.health()
+        assert report.state == HEALTH_HEALTHY
+        assert report.windows_total == len(decisions)
+        assert report.windows_failed == 0
+        assert report.shed_windows == 0
+        assert set(report.breaker_states) == {
+            "dsp.frames", "dsp.music", "dsp.periodogram", "predict",
+        }
+
+
+class TestBackpressure:
+    def test_drop_oldest_shed_policy(self, identifier, stream_log):
+        windows = split_windows(stream_log, identifier.window_s, None)
+        assert len(windows) >= 2
+        supervisor = PipelineSupervisor(identifier, max_queue=1)
+        assert supervisor.submit(windows[0][1], windows[0][0]) == 0
+        assert supervisor.submit(windows[1][1], windows[1][0]) == 1
+        # The freshest window survived the shed.
+        decisions = supervisor.drain()
+        assert len(decisions) == 1
+        assert decisions[0].t_start_s == windows[1][0]
+        report = supervisor.health()
+        assert report.shed_windows == 1
+        assert report.state == HEALTH_DEGRADED
+
+    def test_invalid_bounds_rejected(self, identifier):
+        with pytest.raises(ValueError):
+            PipelineSupervisor(identifier, max_queue=0)
+        with pytest.raises(ValueError):
+            PipelineSupervisor(identifier, dead_letter_capacity=0)
+        with pytest.raises(ValueError):
+            PipelineSupervisor(identifier, window_deadline_s=0.0)
+
+
+class TestDegradation:
+    def test_failing_predict_trips_the_breaker_then_rejects(self, stream_log):
+        flaky = StreamingIdentifier(
+            FailingPipeline(), window_s=4.0, hop_s=1.0, min_reads=16
+        )
+        supervisor = PipelineSupervisor(flaky, failure_threshold=2)
+        decisions = supervisor.process(stream_log)
+        assert len(decisions) >= 3
+        reasons = [d.reason for d in decisions]
+        # Two stage failures open the predict breaker; every later
+        # window is rejected at the boundary without running inference.
+        assert reasons[:2] == [REASON_STAGE_FAILURE, REASON_STAGE_FAILURE]
+        assert all(r == REASON_BREAKER_OPEN for r in reasons[2:])
+        assert all(d.abstained for d in decisions)
+        report = supervisor.health()
+        assert report.breaker_states["predict"] == STATE_OPEN
+        assert report.state == HEALTH_FAILED
+        assert report.windows_failed == len(decisions)
+
+    def test_dead_letters_are_attributed_and_bounded(self, stream_log):
+        flaky = StreamingIdentifier(
+            FailingPipeline(), window_s=4.0, hop_s=1.0, min_reads=16
+        )
+        supervisor = PipelineSupervisor(
+            flaky, failure_threshold=2, dead_letter_capacity=2
+        )
+        decisions = supervisor.process(stream_log)
+        letters = supervisor.dead_letters()
+        assert len(letters) == 2  # capacity bound, not window count
+        assert supervisor.health().windows_failed == len(decisions)
+        assert all(letter.stage == "predict" for letter in letters)
+
+    def test_breaker_recovers_through_a_probe(self, stream_log):
+        clock = FakeClock()
+
+        class FlakyOnce(StubPipeline):
+            def __init__(self) -> None:
+                self.calls = 0
+
+            def predict_proba(self, dataset):
+                self.calls += 1
+                if self.calls <= 2:
+                    raise RuntimeError("warming up")
+                return super().predict_proba(dataset)
+
+        flaky = StreamingIdentifier(
+            FlakyOnce(), window_s=4.0, hop_s=1.0, min_reads=16
+        )
+        supervisor = PipelineSupervisor(
+            flaky, failure_threshold=2, reset_timeout_s=5.0, clock=clock
+        )
+        windows = split_windows(stream_log, 4.0, 1.0)
+        assert len(windows) >= 3
+        for t_start, window_log in windows[:2]:
+            supervisor.submit(window_log, t_start)
+        failed = supervisor.drain()
+        assert supervisor.health().state == HEALTH_FAILED
+        assert [d.reason for d in failed] == [REASON_STAGE_FAILURE] * 2
+        clock.t += 10.0  # past the reset timeout: probe admitted
+        supervisor.submit(windows[2][1], windows[2][0])
+        (probe,) = supervisor.drain()
+        assert not probe.abstained
+        breaker = supervisor.breakers["predict"]
+        assert ("open", "half_open") in breaker.transitions
+        assert ("half_open", "closed") in breaker.transitions
+        # Dead letters from the outage remain: degraded, not failed.
+        assert supervisor.health().state == HEALTH_DEGRADED
+
+    def test_unattributed_failure_degrades_to_abstain(self, identifier):
+        class ExplodingLog:
+            n_reads = 100
+
+            @property
+            def meta(self):
+                raise RuntimeError("log is corrupt")
+
+            def antenna_liveness(self):
+                raise RuntimeError("log is corrupt")
+
+        supervisor = PipelineSupervisor(identifier)
+        supervisor.submit(ExplodingLog(), 0.0)
+        (decision,) = supervisor.drain()
+        assert decision.abstained
+        assert decision.reason == REASON_STAGE_FAILURE
+        (letter,) = supervisor.dead_letters()
+        assert letter.stage == "window"
+
+
+class TestDeadline:
+    def test_mid_window_overrun_aborts_at_a_stage_boundary(self, stream_log):
+        # The clock jumps 1s per reading; with a 0.5s budget the first
+        # guarded stage boundary already sees an expired deadline.
+        clock = FakeClock(step=1.0)
+        identifier = StreamingIdentifier(
+            StubPipeline(), window_s=4.0, min_reads=16
+        )
+        supervisor = PipelineSupervisor(
+            identifier, window_deadline_s=0.5, clock=clock
+        )
+        decisions = supervisor.process(stream_log)
+        assert decisions, "expected at least one window"
+        assert all(d.reason == REASON_DEADLINE for d in decisions)
+        letters = supervisor.dead_letters()
+        assert letters[0].stage in (
+            "dsp.frames", "dsp.music", "dsp.periodogram", "predict",
+        )
+
+    def test_post_completion_overrun_discards_the_late_decision(self):
+        class InstantIdentifier:
+            """Succeeds immediately — only the post-check can trip."""
+
+            window_s = 4.0
+            hop_s = None
+
+            def identify_window(self, window_log, t_start_s):
+                from repro.core.streaming import WindowDecision
+
+                return WindowDecision(
+                    t_start_s=t_start_s,
+                    t_end_s=t_start_s + 4.0,
+                    label="wave",
+                    confidence=0.9,
+                    n_reads=window_log.n_reads,
+                )
+
+        clock = FakeClock(step=1.0)
+        supervisor = PipelineSupervisor(
+            InstantIdentifier(), window_deadline_s=0.5, clock=clock
+        )
+        supervisor.submit(make_log(n=100), 0.0)
+        (decision,) = supervisor.drain()
+        # identify_window returned a labelled decision, but the window
+        # blew its budget: a late answer degrades to a deadline abstain.
+        assert decision.abstained
+        assert decision.reason == REASON_DEADLINE
+        (letter,) = supervisor.dead_letters()
+        assert letter.stage == "window"
+
+    def test_no_deadline_means_no_overrun(self, identifier, stream_log):
+        clock = FakeClock(step=100.0)  # pathological slowness
+        supervisor = PipelineSupervisor(identifier, clock=clock)
+        decisions = supervisor.process(stream_log)
+        assert all(d.reason != REASON_DEADLINE for d in decisions)
