@@ -600,3 +600,63 @@ class PublicDocstringRule(LintRule):
         if parts & self._EXEMPT_PARTS:
             return
         yield from self._check_body(ctx, ctx.tree.body)
+
+
+@register_rule
+class BarePoolRule(LintRule):
+    """RPR011: no bare ``multiprocessing.Pool`` in library code.
+
+    A bare pool has none of the serving layer's safety rails: no
+    liveness probing (a dead worker hangs ``map`` forever), no crash
+    attribution, no stream reassignment, and its lazy pickling turns
+    large read logs into double copies.  Library code that needs
+    worker processes goes through :mod:`repro.serving.workers`
+    (``ShardWorker`` and friends), which owns the process lifecycle
+    explicitly.
+    """
+
+    code = "RPR011"
+    name = "bare-pool"
+    description = (
+        "bare multiprocessing.Pool in library code; use the supervised "
+        "workers in repro.serving.workers instead"
+    )
+    hint = (
+        "route worker processes through repro.serving.workers "
+        "(ShardWorker/ProcessShardWorker) so crashes are detected and "
+        "attributed instead of hanging a Pool"
+    )
+
+    _BANNED_ATTRS = frozenset(
+        {
+            "multiprocessing.Pool",
+            "multiprocessing.pool.Pool",
+            "multiprocessing.dummy.Pool",
+            "mp.Pool",
+        }
+    )
+    _BANNED_MODULES = frozenset(
+        {"multiprocessing", "multiprocessing.pool", "multiprocessing.dummy"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if _dotted(node) in self._BANNED_ATTRS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "bare multiprocessing.Pool hides worker crashes; "
+                        "use repro.serving.workers",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in self._BANNED_MODULES and any(
+                    alias.name == "Pool" for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing Pool from {node.module} bypasses the "
+                        "supervised worker layer",
+                    )

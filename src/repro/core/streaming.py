@@ -49,6 +49,10 @@ REASON_BREAKER_OPEN = "breaker_open"
 REASON_DEADLINE = "deadline_exceeded"
 """Abstain reason: the window missed its wall-clock deadline."""
 
+REASON_ADMISSION = "admission_rejected"
+"""Abstain reason: the fleet rejected the stream at admission (over
+capacity), so its windows are answered without being served."""
+
 
 @dataclass(frozen=True)
 class WindowDecision:
@@ -317,42 +321,172 @@ class StreamingIdentifier:
         Raises:
             RuntimeError: when the pipeline is not fitted.
         """
+        with span("streaming.window", t_start_s=t_start_s):
+            decision, sample = self.prepare_window(window_log, t_start_s, psi)
+            if decision is None:
+                probas = self.predict_prepared([sample])
+                decision = self.score_window(
+                    t_start_s, window_log.n_reads, probas[0]
+                )
+            counter("streaming.windows_total").inc()
+        return decision
+
+    def prepare_window(
+        self,
+        window_log: ReadLog,
+        t_start_s: float,
+        psi: np.ndarray | None = None,
+    ) -> tuple[WindowDecision | None, object | None]:
+        """Featurise one window without running inference.
+
+        The first phase of the split serving path: admission checks
+        (read count, live ports) and featurisation happen here, so a
+        fleet shard can collect featurised samples from many streams
+        and push them through :meth:`predict_prepared` as one batch.
+
+        Args:
+            window_log: the reads falling inside the window.
+            t_start_s: the window's nominal start in stream time.
+            psi: pre-computed doubled phases aligned with
+                ``window_log``; computed via the calibrator when None.
+
+        Returns:
+            ``(decision, None)`` when the window resolves without
+            inference (an early abstain), ``(None, sample)`` with the
+            featurised sample otherwise.
+
+        Raises:
+            RuntimeError: when the pipeline is not fitted.
+        """
         if self.pipeline.model is None:
             raise RuntimeError("pipeline not fitted")
         t_end = t_start_s + self.window_s
         n_reads = window_log.n_reads
-        with span("streaming.window", t_start_s=t_start_s):
+        if n_reads < self.min_reads:
+            return (
+                self._abstain(t_start_s, t_end, n_reads, REASON_TOO_FEW_READS),
+                None,
+            )
+        if int(window_log.antenna_liveness().sum()) < self.min_live_ports:
+            return (
+                self._abstain(t_start_s, t_end, n_reads, REASON_DEAD_PORTS),
+                None,
+            )
+        if psi is None:
+            psi = (
+                self.calibrator.calibrate(window_log)
+                if self.calibrator is not None
+                else uncalibrated(window_log)
+            )
+        dwell = window_log.meta.dwell_s
+        n_frames = max(1, int(round(self.window_s / dwell)))
+        sample = self.featurizer.transform(window_log, psi, n_frames=n_frames)
+        return None, sample
+
+    def prepare_windows(
+        self,
+        windows: list[tuple["ReadLog", float, np.ndarray | None]],
+    ) -> list[tuple["WindowDecision | None", object | None]]:
+        """Featurise many windows through one pooled DSP batch.
+
+        The batched counterpart of :meth:`prepare_window`: admission
+        checks run per window, then every admissible window is
+        featurised through the featuriser's ``transform_many`` (one
+        stacked MUSIC/periodogram batch for the lot) when it has one,
+        falling back to per-window ``transform`` otherwise.  Results
+        are identical to calling :meth:`prepare_window` per window.
+
+        Args:
+            windows: ``(window_log, t_start_s, psi)`` per window;
+                ``psi`` None computes calibrated phases per window.
+
+        Returns:
+            One ``(decision, sample)`` pair per window, in order, with
+            the same semantics as :meth:`prepare_window`.
+
+        Raises:
+            RuntimeError: when the pipeline is not fitted.
+        """
+        if self.pipeline.model is None:
+            raise RuntimeError("pipeline not fitted")
+        out: list[tuple[WindowDecision | None, object | None]] = [
+            (None, None)
+        ] * len(windows)
+        pending: list[int] = []
+        items: list[tuple[ReadLog, np.ndarray, int | None]] = []
+        for i, (window_log, t_start_s, psi) in enumerate(windows):
+            t_end = t_start_s + self.window_s
+            n_reads = window_log.n_reads
             if n_reads < self.min_reads:
-                decision = self._abstain(
-                    t_start_s, t_end, n_reads, REASON_TOO_FEW_READS
+                out[i] = (
+                    self._abstain(
+                        t_start_s, t_end, n_reads, REASON_TOO_FEW_READS
+                    ),
+                    None,
                 )
-            elif (
-                int(window_log.antenna_liveness().sum()) < self.min_live_ports
-            ):
-                decision = self._abstain(
-                    t_start_s, t_end, n_reads, REASON_DEAD_PORTS
+                continue
+            if int(window_log.antenna_liveness().sum()) < self.min_live_ports:
+                out[i] = (
+                    self._abstain(t_start_s, t_end, n_reads, REASON_DEAD_PORTS),
+                    None,
                 )
+                continue
+            if psi is None:
+                psi = (
+                    self.calibrator.calibrate(window_log)
+                    if self.calibrator is not None
+                    else uncalibrated(window_log)
+                )
+            dwell = window_log.meta.dwell_s
+            n_frames = max(1, int(round(self.window_s / dwell)))
+            pending.append(i)
+            items.append((window_log, psi, n_frames))
+        if items:
+            transform_many = getattr(self.featurizer, "transform_many", None)
+            if transform_many is not None:
+                samples = transform_many(items)
             else:
-                if psi is None:
-                    psi = (
-                        self.calibrator.calibrate(window_log)
-                        if self.calibrator is not None
-                        else uncalibrated(window_log)
-                    )
-                dwell = window_log.meta.dwell_s
-                n_frames = max(1, int(round(self.window_s / dwell)))
-                sample = self.featurizer.transform(
-                    window_log, psi, n_frames=n_frames
-                )
-                dataset = ActivityDataset(samples=[sample], labels=["?"])
-                with span("streaming.predict", windows=1):
-                    with stage_boundary("predict"):
-                        probas = self.pipeline.predict_proba(dataset)
-                decision = self._score(
-                    t_start_s, n_reads, np.asarray(probas[0])
-                )
-            counter("streaming.windows_total").inc()
-        return decision
+                samples = [
+                    self.featurizer.transform(log, psi, n_frames=n_frames)
+                    for log, psi, n_frames in items
+                ]
+            for i, sample in zip(pending, samples):
+                out[i] = (None, sample)
+        return out
+
+    def predict_prepared(self, samples: list) -> np.ndarray:
+        """Run inference over featurised samples from :meth:`prepare_window`.
+
+        One ``predict_proba`` call for the whole batch — the fleet's
+        cross-stream batching entry point — guarded by the ``predict``
+        stage boundary so supervised callers get breaker protection.
+
+        Returns:
+            Class probabilities, shape ``(len(samples), n_classes)``.
+
+        Raises:
+            RuntimeError: when the pipeline is not fitted.
+            ValueError: when ``samples`` is empty or shapes disagree.
+        """
+        if self.pipeline.model is None:
+            raise RuntimeError("pipeline not fitted")
+        dataset = ActivityDataset(
+            samples=list(samples), labels=["?"] * len(samples)
+        )
+        with span("streaming.predict", windows=len(samples)):
+            with stage_boundary("predict"):
+                return np.asarray(self.pipeline.predict_proba(dataset))
+
+    def score_window(
+        self, t_start_s: float, n_reads: int, proba: np.ndarray
+    ) -> WindowDecision:
+        """Turn one window's class probabilities into a decision.
+
+        The final phase of the split serving path (confidence
+        thresholding included); public so shard servers can score
+        batch rows back to their streams.
+        """
+        return self._score(t_start_s, int(n_reads), np.asarray(proba))
 
     def _score(
         self, start: float, n_reads: int, proba: np.ndarray

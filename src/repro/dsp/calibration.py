@@ -38,6 +38,7 @@ class _AntennaCalibration:
     fit_intercept: float
     fit_slope_per_mhz: float
     has_fit: bool
+    _resolved: np.ndarray | None = field(default=None, compare=False, repr=False)
 
     def offset_for(self, channel: int, frequencies_hz: np.ndarray) -> float:
         """Offset for a channel never observed during calibration.
@@ -61,6 +62,24 @@ class _AntennaCalibration:
         ]
         return float(self.offsets[nearest])
 
+    def resolved_offsets(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Every channel's offset with the fallback chain applied.
+
+        The table is immutable after :func:`_fit_antenna`, so the
+        per-channel :meth:`offset_for` resolution is computed once and
+        cached — :meth:`PhaseCalibrator.calibrate` sits on the
+        per-window serving hot path and must not re-run the Python
+        fallback chain for every read.
+        """
+        if self._resolved is None:
+            self._resolved = np.array(
+                [
+                    self.offset_for(c, frequencies_hz)
+                    for c in range(frequencies_hz.size)
+                ]
+            )
+        return self._resolved
+
 
 @dataclass
 class PhaseCalibrator:
@@ -77,6 +96,7 @@ class PhaseCalibrator:
     frequencies_hz: np.ndarray
     reference_channel: int
     _tables: dict[tuple[int, int], _AntennaCalibration] = field(default_factory=dict)
+    _dense: np.ndarray | None = field(default=None, compare=False, repr=False)
 
     @classmethod
     def fit(cls, calibration_log: ReadLog) -> "PhaseCalibrator":
@@ -136,27 +156,37 @@ class PhaseCalibrator:
         """
         with span("dsp.calibration.calibrate", reads=log.n_reads):
             psi = fold_double(log.phase_rad)
-            out = np.empty_like(psi)
-            out[...] = psi
-            for tag in np.unique(log.tag_index):
-                for ant in np.unique(log.antenna):
-                    mask = (log.tag_index == tag) & (log.antenna == ant)
-                    if not mask.any():
-                        continue
-                    table = self._tables.get((int(tag), int(ant)))
-                    if table is None:
-                        continue
-                    offset_vector = np.array(
-                        [
-                            table.offset_for(c, self.frequencies_hz)
-                            for c in range(self.frequencies_hz.size)
-                        ]
-                    )
-                    ref = offset_vector[self.reference_channel]
-                    out[mask] = wrap_2pi(
-                        psi[mask] - offset_vector[log.channel[mask]] + ref
-                    )
+            dense = self._dense_offsets()
+            n_tag_rows, n_ant_rows, _n_ch = dense.shape
+            # Out-of-table tags/ports clip onto the all-NaN guard row.
+            tags = np.minimum(log.tag_index, n_tag_rows - 1)
+            ants = np.minimum(log.antenna, n_ant_rows - 1)
+            per_read = dense[tags, ants, log.channel]
+            ref = dense[tags, ants, self.reference_channel]
+            calibrated = wrap_2pi(psi - per_read + ref)
+            # A (tag, antenna) pair with no calibration table passes
+            # through uncalibrated.
+            out = np.where(np.isnan(per_read), psi, calibrated)
         return out
+
+    def _dense_offsets(self) -> np.ndarray:
+        """Resolved offsets as one ``(tags+1, antennas+1, channels)`` array.
+
+        Rows beyond the fitted table (and pairs that produced no
+        calibration reads) are NaN — :meth:`calibrate` maps those reads
+        straight through.  Built lazily once: the table is immutable
+        after :meth:`fit`, and per-read gathers from a dense array are
+        what keep ``calibrate`` off the serving hot path's profile.
+        """
+        if self._dense is None:
+            n_ch = self.frequencies_hz.size
+            max_tag = max((k[0] for k in self._tables), default=-1)
+            max_ant = max((k[1] for k in self._tables), default=-1)
+            dense = np.full((max_tag + 2, max_ant + 2, n_ch), np.nan)
+            for (tag, ant), table in self._tables.items():
+                dense[tag, ant] = table.resolved_offsets(self.frequencies_hz)
+            self._dense = dense
+        return self._dense
 
     def coverage(self, tag: int, antenna: int) -> float:
         """Fraction of channels directly observed during calibration."""

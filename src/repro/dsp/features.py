@@ -16,6 +16,7 @@ import numpy as np
 from repro.dsp.frames import (
     FeatureFrames,
     build_spectrum_frames,
+    build_spectrum_frames_many,
     power_to_db,
     tag_snapshot_set,
 )
@@ -41,6 +42,22 @@ class M2AIFeaturizer:
             include_pseudo=True,
             include_period=True,
             label=label,
+        )
+
+    def transform_many(
+        self, windows: list[tuple[ReadLog, np.ndarray, int | None]]
+    ) -> list[FeatureFrames]:
+        """Featurise many windows through one pooled DSP batch.
+
+        Output per window is identical to :meth:`transform`; see
+        :func:`~repro.dsp.frames.build_spectrum_frames_many` for how
+        the pooling works and why it pays on a fleet shard.
+        """
+        return build_spectrum_frames_many(
+            windows,
+            angles_deg=self.angles_deg,
+            include_pseudo=True,
+            include_period=True,
         )
 
 

@@ -20,10 +20,14 @@ from repro.dsp.correlation import spatial_covariance_stack
 from repro.dsp.music import (
     DEFAULT_ANGLES_DEG,
     masked_pseudospectrum,
-    music_pseudospectrum_batch,
+    music_spectra_batch,
 )
 from repro.dsp.periodogram import spatial_periodogram_batch
-from repro.dsp.snapshots import TagSnapshots, build_snapshots
+from repro.dsp.snapshots import (
+    TagSnapshots,
+    build_snapshots_all,
+    build_snapshots_many,
+)
 from repro.hardware.llrp import ReadLog
 from repro.obs.tracing import span
 from repro.runtime.breaker import stage_boundary
@@ -37,14 +41,15 @@ def normalize_pseudospectrum(spectrum: np.ndarray) -> np.ndarray:
     MUSIC peak heights span orders of magnitude and carry no absolute
     power meaning (that is the periodogram's job), so each spectrum is
     expressed in dB relative to its own peak and clipped at -40 dB,
-    then mapped to ``[0, 1]``.
+    then mapped to ``[0, 1]``.  A stacked input normalises each row
+    against its own peak.
 
     Returns:
-        The compressed spectrum, shape: ``(A,)`` matching the input
-        grid.
+        The compressed spectrum, shape: ``(..., A)`` matching the
+        input grid.
     """
     s = np.asarray(spectrum, dtype=np.float64)
-    peak = max(float(s.max()), 1e-300)
+    peak = np.maximum(s.max(axis=-1, keepdims=True), 1e-300)
     db = 10.0 * np.log10(np.maximum(s, 1e-300) / peak)
     return np.clip(db, _DB_FLOOR, 0.0) / (-_DB_FLOOR) + 1.0
 
@@ -94,15 +99,7 @@ def tag_snapshot_set(
     log: ReadLog, psi: np.ndarray, n_frames: int | None = None
 ) -> list[TagSnapshots]:
     """Snapshots for every tag over a common frame axis."""
-    if n_frames is None:
-        min_t = float(log.timestamp_s.min()) if log.n_reads else 0.0
-        t0 = np.floor(min_t / log.meta.dwell_s) * log.meta.dwell_s
-        span = float(log.timestamp_s.max() - t0) if log.n_reads else 0.0
-        n_frames = max(1, int(np.ceil((span + 1e-9) / log.meta.dwell_s)))
-    return [
-        build_snapshots(log, psi, tag, n_frames=n_frames)
-        for tag in range(log.n_tags)
-    ]
+    return build_snapshots_all(log, psi, n_frames=n_frames)
 
 
 def build_spectrum_frames(
@@ -174,6 +171,54 @@ def build_spectrum_frames(
     )
 
 
+def _collect_entries(
+    snapshot_sets: list[TagSnapshots],
+) -> tuple[list[tuple[int, int]], list[np.ndarray], list[np.ndarray], list[float]]:
+    """Every valid ``(tag, frame)`` dwell with its snapshot rows."""
+    frames = snapshot_sets[0].n_frames
+    entries: list[tuple[int, int]] = []
+    z_rows, valid_rows, wavelengths = [], [], []
+    for k, snaps in enumerate(snapshot_sets):
+        # Vectorised snaps.frame_valid over the tag's frame axis.
+        ok = np.flatnonzero(
+            (snaps.valid.any(axis=1).sum(axis=1) >= 2)[:frames]
+        )
+        entries.extend((k, int(f)) for f in ok)
+        z_rows.extend(snaps.z[f] for f in ok)
+        valid_rows.extend(snaps.valid[f] for f in ok)
+        wavelengths.extend(float(snaps.wavelength_m[f]) for f in ok)
+    return entries, z_rows, valid_rows, wavelengths
+
+
+def _fill_tag_frames(
+    snapshot_sets: list[TagSnapshots],
+    entries: list[tuple[int, int]],
+    spectra: np.ndarray | None,
+    powers: np.ndarray | None,
+    pseudo: np.ndarray | None,
+    period: np.ndarray | None,
+) -> None:
+    """Scatter per-entry DSP outputs into the frame tensors; invalid
+    frames repeat the tag's previous frame (zero for a missing first
+    frame)."""
+    frames = snapshot_sets[0].n_frames
+    position = {entry: i for i, entry in enumerate(entries)}
+    for k in range(len(snapshot_sets)):
+        for f in range(frames):
+            i = position.get((k, f))
+            if i is None:
+                if f > 0:
+                    if pseudo is not None:
+                        pseudo[f, k] = pseudo[f - 1, k]
+                    if period is not None:
+                        period[f, k] = period[f - 1, k]
+                continue
+            if pseudo is not None and spectra is not None:
+                pseudo[f, k] = spectra[i]
+            if period is not None and powers is not None:
+                period[f, k] = powers[i]
+
+
 def _build_tag_frames(
     snapshot_sets: list[TagSnapshots],
     log: ReadLog,
@@ -193,16 +238,7 @@ def _build_tag_frames(
     per-frame DSP calls; invalid frames then repeat the previous frame
     exactly as before.
     """
-    frames = snapshot_sets[0].n_frames
-    entries: list[tuple[int, int]] = []
-    z_rows, valid_rows, wavelengths = [], [], []
-    for k, snaps in enumerate(snapshot_sets):
-        for f in range(frames):
-            if snaps.frame_valid(f):
-                entries.append((k, f))
-                z_rows.append(snaps.z[f])
-                valid_rows.append(snaps.valid[f])
-                wavelengths.append(float(snaps.wavelength_m[f]))
+    entries, z_rows, valid_rows, wavelengths = _collect_entries(snapshot_sets)
 
     spectra: np.ndarray | None = None
     powers: np.ndarray | None = None
@@ -219,15 +255,13 @@ def _build_tag_frames(
         if pseudo is not None and healthy:
             with stage_boundary("dsp.music"):
                 covs = spatial_covariance_stack(z_stack, v_stack)
-                results = music_pseudospectrum_batch(
+                raw, _dims, _eigs = music_spectra_batch(
                     covs,
                     spacing_m=log.meta.spacing_m,
                     wavelength_m=np.asarray(wavelengths),
                     angles_deg=grid,
                 )
-                spectra = np.stack(
-                    [normalize_pseudospectrum(r.spectrum) for r in results]
-                )
+                spectra = normalize_pseudospectrum(raw)
         elif pseudo is not None and can_aoa:
             with stage_boundary("dsp.music"):
                 spectra = np.stack(
@@ -246,18 +280,164 @@ def _build_tag_frames(
                     ]
                 )
 
-    position = {entry: i for i, entry in enumerate(entries)}
-    for k in range(len(snapshot_sets)):
-        for f in range(frames):
-            i = position.get((k, f))
-            if i is None:
-                if f > 0:
-                    if pseudo is not None:
-                        pseudo[f, k] = pseudo[f - 1, k]
-                    if period is not None:
-                        period[f, k] = period[f - 1, k]
+    _fill_tag_frames(snapshot_sets, entries, spectra, powers, pseudo, period)
+
+
+def build_spectrum_frames_many(
+    windows: list[tuple[ReadLog, np.ndarray, int | None]],
+    angles_deg: np.ndarray | None = None,
+    include_pseudo: bool = True,
+    include_period: bool = True,
+) -> list[FeatureFrames]:
+    """Featurise many windows through one pooled DSP batch.
+
+    The cross-stream serving entry point: every valid ``(tag, dwell)``
+    of every window — across all streams a fleet shard is ticking —
+    goes into *one* stacked periodogram and *one* stacked MUSIC batch,
+    so the per-call dispatch cost of the small-matrix DSP kernels is
+    paid once per shard tick rather than once per window.  Each
+    window's output is identical to :func:`build_spectrum_frames` on
+    the same ``(log, psi)``: pooling only widens the stacks, and every
+    kernel in them is per-row.
+
+    Windows with a dead antenna port take the scalar masked-subarray
+    path (their covariances live on a different element layout), so a
+    degraded stream slows only itself down.
+
+    Args:
+        windows: ``(log, psi, n_frames)`` per window; ``n_frames``
+            None derives the frame count from the log span.
+        angles_deg: pseudospectrum angle grid shared by the batch.
+        include_pseudo: emit the ``"pseudo"`` channel.
+        include_period: emit the ``"period"`` channel.
+
+    Returns:
+        One :class:`FeatureFrames` per input window, in order; each
+        window's ``"pseudo"`` channel has shape: ``(F, n_tags, 180)``
+        and its ``"period"`` channel shape: ``(F, n_tags, N)``.
+    """
+    grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
+    out: list[FeatureFrames | None] = [None] * len(windows)
+    # Pool per array geometry + frame count (normally exactly one group
+    # across the whole fleet): those windows share one binning pass,
+    # one covariance/eigen stack and one scatter.
+    groups: dict[tuple, list[tuple[int, ReadLog, np.ndarray, np.ndarray]]] = {}
+    with span("dsp.frames.build_many", windows=len(windows)):
+        for w, (log, psi, n_frames) in enumerate(windows):
+            live = log.antenna_liveness()
+            if not bool(live.all()):
+                # Dead ports take the scalar masked-subarray path (their
+                # covariances live on a different element layout), so a
+                # degraded stream slows only itself down.
+                out[w] = build_spectrum_frames(
+                    log,
+                    psi,
+                    n_frames=n_frames,
+                    angles_deg=grid,
+                    include_pseudo=include_pseudo,
+                    include_period=include_period,
+                )
                 continue
-            if pseudo is not None and spectra is not None:
-                pseudo[f, k] = spectra[i]
-            if period is not None and powers is not None:
-                period[f, k] = powers[i]
+            meta = log.meta
+            if n_frames is None:
+                # Mirror build_snapshots_all's span-derived frame count.
+                t0 = np.floor(log.timestamp_s.min() / meta.dwell_s) * meta.dwell_s
+                span_s = log.timestamp_s.max() - t0
+                n_frames = max(1, int(np.ceil((span_s + 1e-9) / meta.dwell_s)))
+            key = (
+                log.n_tags,
+                int(n_frames),
+                meta.n_antennas,
+                float(meta.dwell_s),
+                float(meta.slot_s),
+                float(meta.spacing_m),
+            )
+            groups.setdefault(key, []).append((w, log, psi, live))
+
+        for key, members in groups.items():
+            _pool_spectrum_group(
+                key, members, grid, include_pseudo, include_period, out
+            )
+    return out  # type: ignore[return-value]  # every slot is filled above
+
+
+def _pool_spectrum_group(
+    key: tuple,
+    members: list[tuple[int, ReadLog, np.ndarray, np.ndarray]],
+    grid: np.ndarray,
+    include_pseudo: bool,
+    include_period: bool,
+    out: list[FeatureFrames | None],
+) -> None:
+    """Featurise one geometry group of healthy windows as a single batch.
+
+    One :func:`build_snapshots_many` binning pass, one stacked
+    periodogram/MUSIC call over every valid ``(window, tag, dwell)``
+    entry in the group, then a vectorised scatter + forward fill that
+    replicates :func:`_fill_tag_frames` per window.
+    """
+    n_tags, frames, n_ant, _dwell, _slot, spacing = key
+    with stage_boundary("dsp.frames"):
+        z, valid, wavelength, _frame_time = build_snapshots_many(
+            [log for _w, log, _psi, _live in members],
+            [psi for _w, _log, psi, _live in members],
+            frames,
+        )
+        # A (window, tag, dwell) joins the batch when it saw >= 2 ports
+        # — exactly TagSnapshots.frame_valid.
+        ok = valid.any(axis=3).sum(axis=3) >= 2  # (W, T, F)
+        w_e, t_e, f_e = np.nonzero(ok)
+        z_rows = z[w_e, t_e, f_e]
+        v_rows = valid[w_e, t_e, f_e]
+        wavelengths = wavelength[w_e, t_e, f_e]
+
+    powers = spectra = None
+    if w_e.size:
+        if include_period:
+            with stage_boundary("dsp.periodogram"):
+                powers = power_to_db(spatial_periodogram_batch(z_rows, v_rows))
+        if include_pseudo:
+            with stage_boundary("dsp.music"):
+                covs = spatial_covariance_stack(z_rows, v_rows)
+                raw, _dims, _eigs = music_spectra_batch(
+                    covs,
+                    spacing_m=spacing,
+                    wavelength_m=wavelengths,
+                    angles_deg=grid,
+                )
+                spectra = normalize_pseudospectrum(raw)
+
+    n_windows = len(members)
+    pseudo = (
+        np.zeros((n_windows, frames, n_tags, grid.size))
+        if include_pseudo
+        else None
+    )
+    period = (
+        np.zeros((n_windows, frames, n_tags, n_ant)) if include_period else None
+    )
+    if pseudo is not None and spectra is not None:
+        pseudo[w_e, f_e, t_e] = spectra
+    if period is not None and powers is not None:
+        period[w_e, f_e, t_e] = powers
+    # Invalid frames repeat the tag's previous frame (zero for a
+    # missing first frame) — _fill_tag_frames, vectorised over the
+    # whole group.
+    have = ok.transpose(0, 2, 1)  # (W, F, T)
+    for f in range(1, frames):
+        miss = ~have[:, f]
+        if miss.any():
+            if pseudo is not None:
+                pseudo[:, f][miss] = pseudo[:, f - 1][miss]
+            if period is not None:
+                period[:, f][miss] = period[:, f - 1][miss]
+
+    for i, (w, _log, _psi, live) in enumerate(members):
+        channels: dict[str, np.ndarray] = {}
+        if pseudo is not None:
+            channels["pseudo"] = pseudo[i]
+        if period is not None:
+            channels["period"] = period[i]
+        out[w] = FeatureFrames(
+            channels=channels, meta={"antenna_liveness": live}
+        )

@@ -15,6 +15,7 @@ wavelength design point.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -38,6 +39,11 @@ keeping worst-case memory at a few hundred 180xN complex matrices.
 """
 
 _steering_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+_steering_cache_lock = threading.Lock()
+"""Guards every hit/insert/evict mutation of the LRU bookkeeping —
+fleet shards hammer the cache from concurrent threads, and an unlocked
+``move_to_end`` racing a ``popitem`` corrupts the ordered dict."""
 
 
 def steering_matrix(
@@ -134,32 +140,39 @@ def cached_steering_matrix(
         angles_deg, n_antennas, spacing_m, wavelength_m, phase_multiplier,
         element_indices,
     )
-    hit = _steering_cache.get(key)
-    if hit is not None:
-        _steering_cache.move_to_end(key)
-        return hit
+    with _steering_cache_lock:
+        hit = _steering_cache.get(key)
+        if hit is not None:
+            _steering_cache.move_to_end(key)
+            return hit
+    # Build outside the lock: the matrix is pure in its key, so two
+    # threads racing the same miss waste one build, never correctness.
     a = steering_matrix(
         angles_deg, n_antennas, spacing_m, wavelength_m, phase_multiplier,
         element_indices=element_indices,
     )
     a.setflags(write=False)
-    _steering_cache[key] = a
-    while len(_steering_cache) > STEERING_CACHE_MAXSIZE:
-        _steering_cache.popitem(last=False)
-    return a
+    with _steering_cache_lock:
+        winner = _steering_cache.setdefault(key, a)
+        _steering_cache.move_to_end(key)
+        while len(_steering_cache) > STEERING_CACHE_MAXSIZE:
+            _steering_cache.popitem(last=False)
+    return winner
 
 
 def steering_cache_info() -> dict[str, int]:
     """Current size and capacity of the steering-matrix cache."""
-    return {
-        "size": len(_steering_cache),
-        "maxsize": STEERING_CACHE_MAXSIZE,
-    }
+    with _steering_cache_lock:
+        return {
+            "size": len(_steering_cache),
+            "maxsize": STEERING_CACHE_MAXSIZE,
+        }
 
 
 def clear_steering_cache() -> None:
     """Drop every cached steering matrix (tests and benchmarks)."""
-    _steering_cache.clear()
+    with _steering_cache_lock:
+        _steering_cache.clear()
 
 
 DEFAULT_GAP_RATIO = 0.08
@@ -351,40 +364,101 @@ def music_pseudospectrum_batch(
         else np.broadcast_to(np.asarray(n_sources, dtype=np.int64), (n_windows,))
     )
 
-    results: list[MusicResult] = []
     if n_windows == 0:
-        return results
+        return []
+    spectra, n_src, eigvals = music_spectra_batch(
+        r,
+        spacing_m,
+        wavelengths,
+        angles_deg=grid,
+        n_sources=forced,
+        phase_multiplier=phase_multiplier,
+        element_indices=element_indices,
+    )
+    grid_f64 = np.asarray(grid, dtype=np.float64)
+    return [
+        MusicResult(
+            angles_deg=grid_f64,
+            spectrum=spectra[w],
+            n_sources=int(n_src[w]),
+            eigenvalues=eigvals[w],
+        )
+        for w in range(n_windows)
+    ]
+
+
+def music_spectra_batch(
+    covariances: np.ndarray,
+    spacing_m: float,
+    wavelength_m: float | np.ndarray,
+    angles_deg: np.ndarray | None = None,
+    n_sources: np.ndarray | None = None,
+    phase_multiplier: float = PHASE_MULTIPLIER,
+    element_indices: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked MUSIC spectra without per-entry result objects.
+
+    The array-level core of :func:`music_pseudospectrum_batch`: one
+    stacked eigendecomposition, then one noise-projection matmul per
+    *distinct* ``(subspace dim, wavelength)`` pair rather than per
+    entry.  Cross-stream serving pools every (tag, dwell) of every
+    window of every stream into this call, so the entry count reaches
+    the thousands while hop sequences revisit the same ~50 carriers —
+    grouping turns thousands of 4x180 matmuls into dozens of stacked
+    ones.
+
+    Args:
+        covariances: ``(W, N, N)`` Hermitian covariance stack.
+        spacing_m: array element spacing (shared by the batch).
+        wavelength_m: scalar or ``(W,)`` per-entry carrier wavelength.
+        angles_deg: evaluation grid shared by the batch.
+        n_sources: ``(W,)`` forced subspace dimensions, or None to
+            estimate per entry from the eigenvalue gap.
+        phase_multiplier: see :func:`steering_matrix`.
+        element_indices: physical element positions (shared).
+
+    Returns:
+        ``(spectra, n_sources, eigenvalues)`` with shapes ``(W, A)``,
+        ``(W,)`` and ``(W, N)`` — eigenvalues sorted descending,
+        matching the scalar path.
+    """
+    r = np.asarray(covariances, dtype=np.complex128)
+    if r.ndim != 3 or r.shape[1] != r.shape[2]:
+        raise ValueError("covariances must be a (W, N, N) stack")
+    n_windows, n = r.shape[0], r.shape[1]
+    grid = DEFAULT_ANGLES_DEG if angles_deg is None else np.asarray(angles_deg)
+    wavelengths = np.broadcast_to(
+        np.asarray(wavelength_m, dtype=np.float64), (n_windows,)
+    )
+    if n_windows == 0:
+        return np.empty((0, grid.size)), np.empty(0, dtype=int), np.empty((0, n))
     with span("dsp.music.batch", windows=n_windows, elements=n):
         eigvals, eigvecs = np.linalg.eigh(r)
         # eigh returns ascending order; the scalar path sorts descending.
         eigvals = eigvals[:, ::-1].real
         eigvecs = eigvecs[:, :, ::-1]
-        grid_f64 = np.asarray(grid, dtype=np.float64)
-        if forced is None:
+        if n_sources is None:
             # Vectorised estimate_n_sources: same sort-abs-threshold
             # rule, one pass over the whole stack.
             lam = np.sort(np.abs(eigvals), axis=1)[:, ::-1]
             counts = np.sum(lam > DEFAULT_GAP_RATIO * lam[:, :1], axis=1)
-            estimated = np.clip(counts, 1, max(1, n - 1))
+            dims = np.clip(counts, 1, max(1, n - 1))
+        else:
+            dims = np.clip(np.asarray(n_sources, dtype=np.int64), 1, max(1, n - 1))
+        spectra = np.empty((n_windows, grid.size))
+        groups: dict[tuple[int, float], list[int]] = {}
         for w in range(n_windows):
-            m = int(forced[w]) if forced is not None else int(estimated[w])
-            m = max(1, min(m, n - 1))
-            noise = eigvecs[w][:, m:]
+            groups.setdefault((int(dims[w]), float(wavelengths[w])), []).append(w)
+        for (m, wl), members in groups.items():
             a = cached_steering_matrix(
-                grid, n, spacing_m, float(wavelengths[w]), phase_multiplier,
+                grid, n, spacing_m, wl, phase_multiplier,
                 element_indices=element_indices,
             )
-            proj = noise.conj().T @ a
-            denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=0), 1e-12)
-            results.append(
-                MusicResult(
-                    angles_deg=grid_f64,
-                    spectrum=1.0 / denom,
-                    n_sources=m,
-                    eigenvalues=eigvals[w],
-                )
-            )
-    return results
+            noise = eigvecs[members][:, :, m:]  # (G, N, N-m)
+            proj = np.matmul(noise.conj().transpose(0, 2, 1), a)  # (G, N-m, A)
+            denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=1), 1e-12)
+            spectra[members] = 1.0 / denom
+    return spectra, np.asarray(dims, dtype=int), eigvals
 
 
 def masked_pseudospectrum(

@@ -140,3 +140,188 @@ def build_snapshots(
     return TagSnapshots(
         z=z, valid=valid, wavelength_m=wavelength, frame_time_s=frame_time
     )
+
+
+def build_snapshots_all(
+    log: ReadLog,
+    psi: np.ndarray,
+    n_frames: int | None = None,
+    channel_params: ChannelParams | None = None,
+) -> list[TagSnapshots]:
+    """Assemble snapshots for *every* tag in one pass over the log.
+
+    Identical output to calling :func:`build_snapshots` per tag — the
+    tag index simply becomes the leading component of the flat bin
+    index, so binning, duplicate resolution and wavelength assignment
+    run once over the whole log instead of once per tag.  This is the
+    per-window cost that stays after a fleet shard pools its DSP
+    batches, so it must not scale with the tag count in Python.
+
+    Returns:
+        One :class:`TagSnapshots` per tag, indexed by tag.
+    """
+    if len(psi) != log.n_reads:
+        raise ValueError("psi must align with the log")
+    params = channel_params or ChannelParams()
+    meta = log.meta
+    n_ant = meta.n_antennas
+    n_tags = log.n_tags
+    round_s = meta.slot_s * n_ant
+    rounds_per_dwell = max(1, int(round(meta.dwell_s / round_s)))
+
+    t = log.timestamp_s
+    amps = rssi_dbm_to_amplitude(log.rssi_dbm, params)
+
+    min_t = float(t.min()) if log.n_reads else 0.0
+    t0 = np.floor(min_t / meta.dwell_s) * meta.dwell_s
+    dwell_idx = np.floor((t - t0) / meta.dwell_s).astype(int)
+    round_idx = np.floor((t - t0) / round_s).astype(int)
+    k_idx = round_idx - dwell_idx * rounds_per_dwell
+    k_idx = np.clip(k_idx, 0, rounds_per_dwell - 1)
+
+    if n_frames is None:
+        span = t.max() - t0 if log.n_reads else 0.0
+        n_frames = max(1, int(np.ceil((span + 1e-9) / meta.dwell_s)))
+
+    z = np.zeros((n_tags, n_frames, rounds_per_dwell, n_ant), dtype=np.complex128)
+    valid = np.zeros((n_tags, n_frames, rounds_per_dwell, n_ant), dtype=bool)
+    wavelength = np.full((n_tags, n_frames), np.nan)
+
+    in_range = (dwell_idx >= 0) & (dwell_idx < n_frames)
+    from repro.channel.params import SPEED_OF_LIGHT
+
+    tags_sel = log.tag_index[in_range]
+    f_sel = dwell_idx[in_range]
+    values = (amps * np.exp(1j * psi))[in_range]
+    # Duplicate (tag, dwell, round, antenna) bins keep the *last* read
+    # in log order, exactly like the per-tag builder.
+    flat = (
+        (tags_sel * n_frames + f_sel) * rounds_per_dwell + k_idx[in_range]
+    ) * n_ant + log.antenna[in_range]
+    bins, first_in_reversed = np.unique(flat[::-1], return_index=True)
+    last = flat.size - 1 - first_in_reversed
+    z.reshape(-1)[bins] = values[last]
+    valid.reshape(-1)[bins] = True
+    tf = tags_sel * n_frames + f_sel
+    tf_seen, first_in_reversed = np.unique(tf[::-1], return_index=True)
+    wavelength.reshape(-1)[tf_seen] = (
+        SPEED_OF_LIGHT / log.frequency_hz[in_range][tf.size - 1 - first_in_reversed]
+    )
+
+    # Frames never observed get the tag's band-centre wavelength so
+    # downstream steering stays finite (0.328 m with no reads at all).
+    finite = np.isfinite(wavelength)
+    counts = finite.sum(axis=1)
+    sums = np.where(finite, wavelength, 0.0).sum(axis=1)
+    centre = np.where(counts > 0, sums / np.maximum(counts, 1), 0.328)
+    wavelength = np.where(np.isnan(wavelength), centre[:, None], wavelength)
+
+    frame_time = t0 + np.arange(n_frames) * meta.dwell_s
+    return [
+        TagSnapshots(
+            z=z[k],
+            valid=valid[k],
+            wavelength_m=wavelength[k],
+            frame_time_s=frame_time,
+        )
+        for k in range(n_tags)
+    ]
+
+
+def build_snapshots_many(
+    logs: list[ReadLog],
+    psis: list[np.ndarray],
+    n_frames: int,
+    channel_params: ChannelParams | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Bin *many* windows' reads into snapshots in one pass.
+
+    The fleet-shard extension of :func:`build_snapshots_all`: the
+    window index joins the tag index at the front of the flat bin, so
+    W windows cost one concatenate + one ``np.unique`` instead of W
+    binning passes.  Every window must share the same array geometry
+    (tag count, antennas, dwell/slot timing) and frame count — the
+    caller groups by exactly that key.  Slicing the outputs at one
+    window index reproduces :func:`build_snapshots_all` on that
+    window's ``(log, psi)`` bit for bit.
+
+    Args:
+        logs: one read log per window.
+        psis: doubled phases aligned with each log.
+        n_frames: common frame count across the windows.
+
+    Returns:
+        ``(z, valid, wavelength_m, frame_time_s)`` stacked over
+        windows: ``z`` and ``valid`` are ``(W, n_tags, F, K, N)``,
+        ``wavelength_m`` is ``(W, n_tags, F)`` and ``frame_time_s``
+        is ``(W, F)``.
+    """
+    params = channel_params or ChannelParams()
+    meta = logs[0].meta
+    n_ant = meta.n_antennas
+    n_tags = logs[0].n_tags
+    round_s = meta.slot_s * n_ant
+    rounds_per_dwell = max(1, int(round(meta.dwell_s / round_s)))
+    n_windows = len(logs)
+
+    counts = np.array([log.n_reads for log in logs])
+    w_idx = np.repeat(np.arange(n_windows), counts)
+    t = np.concatenate([log.timestamp_s for log in logs])
+    antennas = np.concatenate([log.antenna for log in logs])
+    tags = np.concatenate([log.tag_index for log in logs])
+    freqs = np.concatenate([log.frequency_hz for log in logs])
+    psi = np.concatenate(list(psis))
+    amps = rssi_dbm_to_amplitude(
+        np.concatenate([log.rssi_dbm for log in logs]), params
+    )
+    if len(psi) != t.size:
+        raise ValueError("each psi must align with its log")
+
+    # Per-window dwell-grid origin, exactly as the per-window builder.
+    t0_w = np.array(
+        [
+            np.floor(float(log.timestamp_s.min()) / meta.dwell_s) * meta.dwell_s
+            if log.n_reads
+            else 0.0
+            for log in logs
+        ]
+    )
+    rel = t - t0_w[w_idx]
+    dwell_idx = np.floor(rel / meta.dwell_s).astype(int)
+    round_idx = np.floor(rel / round_s).astype(int)
+    k_idx = np.clip(round_idx - dwell_idx * rounds_per_dwell, 0, rounds_per_dwell - 1)
+
+    shape = (n_windows, n_tags, n_frames, rounds_per_dwell, n_ant)
+    z = np.zeros(shape, dtype=np.complex128)
+    valid = np.zeros(shape, dtype=bool)
+    wavelength = np.full((n_windows, n_tags, n_frames), np.nan)
+
+    in_range = (dwell_idx >= 0) & (dwell_idx < n_frames)
+    from repro.channel.params import SPEED_OF_LIGHT
+
+    values = (amps * np.exp(1j * psi))[in_range]
+    wt = w_idx[in_range] * n_tags + tags[in_range]
+    f_sel = dwell_idx[in_range]
+    # Duplicate bins keep the last read in log order; windows never
+    # collide (the window index leads the flat bin).
+    flat = (
+        (wt * n_frames + f_sel) * rounds_per_dwell + k_idx[in_range]
+    ) * n_ant + antennas[in_range]
+    bins, first_in_reversed = np.unique(flat[::-1], return_index=True)
+    last = flat.size - 1 - first_in_reversed
+    z.reshape(-1)[bins] = values[last]
+    valid.reshape(-1)[bins] = True
+    tf = wt * n_frames + f_sel
+    tf_seen, first_in_reversed = np.unique(tf[::-1], return_index=True)
+    wavelength.reshape(-1)[tf_seen] = (
+        SPEED_OF_LIGHT / freqs[in_range][tf.size - 1 - first_in_reversed]
+    )
+
+    finite = np.isfinite(wavelength)
+    n_finite = finite.sum(axis=2)
+    sums = np.where(finite, wavelength, 0.0).sum(axis=2)
+    centre = np.where(n_finite > 0, sums / np.maximum(n_finite, 1), 0.328)
+    wavelength = np.where(np.isnan(wavelength), centre[:, :, None], wavelength)
+
+    frame_time = t0_w[:, None] + np.arange(n_frames) * meta.dwell_s
+    return z, valid, wavelength, frame_time

@@ -42,6 +42,7 @@ from repro.eval.robustness import (
     robustness_sweep,
     run_ext_robustness,
 )
+from repro.eval.serving import run_ext_serving, run_serving_bench
 from repro.eval.signal_studies import run_fig02, run_fig03
 
 ALL_EXPERIMENTS = {
@@ -65,6 +66,7 @@ __all__ = [
     "resilience_sweep",
     "robustness_sweep",
     "run_resilience_bench",
+    "run_serving_bench",
     "baseline_zoo",
     "clear_cache",
     "eval_baselines",
@@ -76,6 +78,7 @@ __all__ = [
     "run_ext_realtime",
     "run_ext_resilience",
     "run_ext_robustness",
+    "run_ext_serving",
     "run_ext_transfer",
     "run_fig02",
     "run_fig03",

@@ -19,6 +19,7 @@ from repro.data.generator import GenerationConfig, vary
 from repro.eval.harness import get_dataset, train_eval_m2ai
 from repro.eval.reporting import ExperimentResult, ExperimentRow
 from repro.eval.resilience import run_ext_resilience
+from repro.eval.serving import run_ext_serving
 from repro.eval.robustness import run_ext_robustness
 
 
@@ -320,5 +321,6 @@ EXTENSIONS = {
     "ext-robustness": run_ext_robustness,
     "ext-batching": run_ext_batching,
     "ext-resilience": run_ext_resilience,
+    "ext-serving": run_ext_serving,
 }
 """Extension studies, keyed by id."""

@@ -152,12 +152,22 @@ class ReadLog:
         mask to shrink to the surviving subarray instead of silently
         ingesting zeros.
 
+        The mask is computed once and cached on the log — it is asked
+        for repeatedly on the serving hot path (admission, then again
+        by frame assembly) and the read arrays are treated as
+        immutable throughout (:meth:`select`/:meth:`take` build new
+        logs).
+
         Returns:
             ``(n_antennas,)`` boolean mask, True where the port is live.
         """
+        cached = getattr(self, "_liveness", None)
+        if cached is not None:
+            return cached
         live = np.zeros(self.meta.n_antennas, dtype=bool)
-        seen = np.unique(self.antenna)
-        live[seen[(seen >= 0) & (seen < self.meta.n_antennas)]] = True
+        ants = self.antenna
+        live[ants[(ants >= 0) & (ants < self.meta.n_antennas)]] = True
+        self._liveness = live
         return live
 
     def read_rate_hz(self, tag_index: int) -> float:

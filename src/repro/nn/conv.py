@@ -2,8 +2,10 @@
 
 The paper's CONV-E1/E2/E3 layers slide over the 180-angle axis of the
 pseudospectrum frame; 1-D convolution over that axis with the tag axis
-as channels realises the same structure.  Implemented with im2col so
-the heavy lifting is one matmul per layer.
+as channels realises the same structure.  Implemented as one matmul
+per kernel tap over strided views, so memory stays ``O(input)`` — an
+im2col buffer is ``K`` times the input and its transpose-copy becomes
+the bottleneck at the large batches cross-stream serving produces.
 """
 
 from __future__ import annotations
@@ -50,9 +52,12 @@ class Conv1d(Module):
             name=f"{name}.W",
         )
         self.bias = Parameter(np.zeros(out_channels), name=f"{name}.b")
-        self._cols: np.ndarray | None = None
+        self._x_pad: np.ndarray | None = None
         self._x_shape: tuple[int, ...] | None = None
-        self._gather: np.ndarray | None = None
+
+    def _tap_view(self, x_pad: np.ndarray, k: int, l_out: int) -> np.ndarray:
+        """Strided view of tap ``k``'s input columns, shape ``(B, C, L_out)``."""
+        return x_pad[:, :, k : k + self.stride * l_out : self.stride]
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Forward pass (caches what :meth:`backward` needs)."""
@@ -66,34 +71,34 @@ class Conv1d(Module):
             x_pad = np.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
         else:
             x_pad = x
-        gather = (
-            np.arange(l_out)[:, None] * self.stride + np.arange(self.kernel)[None, :]
-        )
-        cols = x_pad[:, :, gather]  # (B, C, L_out, K)
-        cols = cols.transpose(0, 2, 1, 3).reshape(batch, l_out, -1)  # (B, L_out, C*K)
-        self._cols = cols
+        self._x_pad = x_pad
         self._x_shape = x.shape
-        self._gather = gather
-        w_flat = self.weight.value.reshape(self.out_channels, -1)  # (C_out, C*K)
-        y = cols @ w_flat.T + self.bias.value  # (B, L_out, C_out)
-        return y.transpose(0, 2, 1)
+        w = self.weight.value  # (C_out, C, K)
+        y = np.empty((batch, self.out_channels, l_out))
+        y[...] = self.bias.value[:, None]
+        for k in range(self.kernel):
+            # (C_out, C) @ (B, C, L_out) broadcasts over the batch.
+            y += np.matmul(w[:, :, k], self._tap_view(x_pad, k, l_out))
+        return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Backprop through the cached forward pass; returns the input gradient."""
-        if self._cols is None or self._x_shape is None or self._gather is None:
+        if self._x_pad is None or self._x_shape is None:
             raise RuntimeError("backward before forward")
         batch, _c, length = self._x_shape
-        g = grad.transpose(0, 2, 1)  # (B, L_out, C_out)
-        w_flat = self.weight.value.reshape(self.out_channels, -1)
-        flat_g = g.reshape(-1, self.out_channels)
-        flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
-        self.weight.grad += (flat_g.T @ flat_cols).reshape(self.weight.value.shape)
-        self.bias.grad += flat_g.sum(axis=0)
-        dcols = (g @ w_flat).reshape(
-            batch, -1, self.in_channels, self.kernel
-        ).transpose(0, 2, 1, 3)  # (B, C, L_out, K)
-        dx_pad = np.zeros((batch, self.in_channels, length + 2 * self.padding))
-        np.add.at(dx_pad, (slice(None), slice(None), self._gather), dcols)
+        l_out = grad.shape[2]
+        w = self.weight.value
+        dx_pad = np.zeros_like(self._x_pad)
+        for k in range(self.kernel):
+            self.weight.grad[:, :, k] += np.tensordot(
+                grad, self._tap_view(self._x_pad, k, l_out), axes=([0, 2], [0, 2])
+            )
+            # Overlapping taps (stride < kernel) accumulate correctly
+            # because each tap's += runs on its own strided view in turn.
+            dx_pad[:, :, k : k + self.stride * l_out : self.stride] += np.matmul(
+                w[:, :, k].T, grad
+            )
+        self.bias.grad += grad.sum(axis=(0, 2))
         if self.padding:
             return dx_pad[:, :, self.padding : self.padding + length]
         return dx_pad

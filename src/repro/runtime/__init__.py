@@ -53,6 +53,7 @@ from repro.runtime.supervisor import (
     DeadLetter,
     HealthReport,
     PipelineSupervisor,
+    PreparedWindow,
 )
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "GuardSet",
     "HealthReport",
     "PipelineSupervisor",
+    "PreparedWindow",
     "RetryExhaustedError",
     "RetryPolicy",
     "StageFailureError",

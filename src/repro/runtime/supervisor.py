@@ -134,6 +134,39 @@ class _QueuedWindow:
     log: "ReadLog"
 
 
+@dataclass
+class PreparedWindow:
+    """One dequeued window, part-way through split-phase serving.
+
+    Produced by :meth:`PipelineSupervisor.begin_window` (admission
+    checks + featurisation under guards) and consumed by
+    :meth:`PipelineSupervisor.finish_window` (scoring + accounting).
+    A fleet shard holds these between the two phases so inference can
+    be batched across streams.
+
+    Attributes:
+        t_start_s: the window's nominal start in stream time.
+        t_end_s: window end.
+        n_reads: reads the window held (0 when the log is poisoned).
+        deadline: absolute monotonic deadline, None when disabled.
+        guards: the guard set the window was prepared under (reuse it
+            for per-stream fallback inference).
+        sample: featurised sample awaiting inference, None when
+            ``decision`` already resolved the window.
+        decision: the resolved decision (early abstain or degradation),
+            None while inference is still pending.
+    """
+
+    t_start_s: float
+    t_end_s: float
+    n_reads: int
+    deadline: float | None
+    guards: GuardSet
+    sample: object | None = None
+    decision: "WindowDecision | None" = None
+    _item: _QueuedWindow | None = None
+
+
 class PipelineSupervisor:
     """Drives a :class:`StreamingIdentifier` with runtime supervision.
 
@@ -237,17 +270,40 @@ class PipelineSupervisor:
 
         Decisions are emitted in queue order.  A window whose
         processing fails at any stage degrades to an abstain decision
-        (and a dead letter) — this method never raises for a window.
+        (and a dead letter) — this method never raises for a window,
+        and never loses one: even a failure in the supervision
+        machinery itself (a poisoned log raising on attribute access)
+        yields a dead-lettered abstain decision.
 
         Returns:
             One :class:`WindowDecision` per drained window.
         """
         decisions = []
         while self._queue:
-            item = self._queue.popleft()
-            gauge("runtime.queue.depth").set(float(len(self._queue)))
-            decisions.append(self._process_window(item))
+            item = self.pop_window()
+            if item is None:  # pragma: no cover - single-threaded guard
+                break
+            try:
+                decisions.append(self._process_window(item))
+            except Exception as exc:
+                # The supervision machinery itself failed.  The window
+                # was already dequeued, so dropping it here would lose
+                # it silently: account for it explicitly.
+                decisions.append(self._lost_window(item, exc))
         return decisions
+
+    def pop_window(self) -> _QueuedWindow | None:
+        """Dequeue the next window for external processing, if any.
+
+        Split-phase API (fleet shards): pair every popped window with
+        a :meth:`begin_window` / :meth:`finish_window` cycle so no
+        dequeued window is ever lost.
+        """
+        if not self._queue:
+            return None
+        item = self._queue.popleft()
+        gauge("runtime.queue.depth").set(float(len(self._queue)))
+        return item
 
     def process(self, log: "ReadLog") -> list["WindowDecision"]:
         """Submit a continuous log and drain it: the one-call API.
@@ -297,6 +353,162 @@ class PipelineSupervisor:
 
     def _process_window(self, item: _QueuedWindow) -> "WindowDecision":
         """Serve one window under guards; always returns a decision."""
+        with span("runtime.window", t_start_s=item.t_start_s):
+            try:
+                with guard_scope(
+                    GuardSet(
+                        self.breakers,
+                        deadline=self._window_deadline(),
+                        clock=self.clock,
+                    )
+                ) as guards:
+                    decision = self.identifier.identify_window(
+                        item.log, item.t_start_s
+                    )
+            except Exception as exc:
+                decision = self._degrade(item, self._safe_n_reads(item), exc)
+            else:
+                decision = self._deadline_post_check(
+                    item, item.log.n_reads, guards.deadline, decision
+                )
+        return self._finalize(decision)
+
+    def drop_window(
+        self,
+        item: _QueuedWindow,
+        stage: str = "shed",
+        error: BaseException | None = None,
+    ) -> None:
+        """Dead-letter a dequeued window without serving it.
+
+        The fleet's load-shedding path: a shed window is lost work,
+        so it is counted with the backpressure sheds *and* retained as
+        a stage-attributed dead letter — never dropped silently.
+        """
+        self._shed += 1
+        counter("runtime.queue.shed_total").inc()
+        self._dead_letter(
+            item,
+            item.t_start_s + self.identifier.window_s,
+            stage,
+            error or RuntimeError("window shed under overload"),
+        )
+
+    def begin_window(
+        self,
+        item: _QueuedWindow,
+        precomputed: tuple | None = None,
+    ) -> PreparedWindow:
+        """Split-phase step 1: admission checks + featurisation.
+
+        Runs :meth:`StreamingIdentifier.prepare_window` under this
+        supervisor's guards (DSP breakers + window deadline).  Any
+        failure degrades to a resolved abstain decision (and a dead
+        letter) on the returned :class:`PreparedWindow`; a resolved
+        window must still go through :meth:`finish_window` for
+        accounting.  Never raises.
+
+        Args:
+            item: the dequeued window.
+            precomputed: an already-prepared ``(decision, sample)``
+                pair from :meth:`StreamingIdentifier.prepare_windows`
+                — a fleet shard pools DSP featurisation across clean
+                streams and hands each lane its slice here.  The
+                window's deadline then starts at hand-off (prepare
+                time is shared, so it is not billed to any one lane).
+        """
+        deadline = self._window_deadline()
+        guards = GuardSet(self.breakers, deadline=deadline, clock=self.clock)
+        prep = PreparedWindow(
+            t_start_s=item.t_start_s,
+            t_end_s=item.t_start_s + self.identifier.window_s,
+            n_reads=0,
+            deadline=deadline,
+            guards=guards,
+            _item=item,
+        )
+        try:
+            prep.n_reads = int(item.log.n_reads)
+            if precomputed is not None:
+                decision, sample = precomputed
+            else:
+                with guard_scope(guards):
+                    decision, sample = self.identifier.prepare_window(
+                        item.log, item.t_start_s
+                    )
+        except Exception as exc:
+            prep.decision = self._degrade(item, prep.n_reads, exc)
+        else:
+            prep.decision = decision
+            prep.sample = sample
+        return prep
+
+    def finish_window(
+        self,
+        prep: PreparedWindow,
+        proba: "np.ndarray | None" = None,
+        error: BaseException | None = None,
+    ) -> "WindowDecision":
+        """Split-phase step 2: score, post-deadline check, accounting.
+
+        Args:
+            prep: the window from :meth:`begin_window`.
+            proba: the window's row of the batched inference output
+                (required when ``prep`` is still pending and ``error``
+                is None).
+            error: the exception that killed the window's inference,
+                when batched/fallback predict failed.
+
+        Returns:
+            Exactly one decision per prepared window.  Never raises.
+        """
+        item = prep._item or _QueuedWindow(
+            t_start_s=prep.t_start_s, log=None  # type: ignore[arg-type]
+        )
+        decision = prep.decision
+        if decision is None:
+            if error is not None:
+                decision = self._degrade(item, prep.n_reads, error)
+            else:
+                try:
+                    if proba is None:
+                        raise ValueError(
+                            "finish_window needs proba for a pending window"
+                        )
+                    decision = self.identifier.score_window(
+                        prep.t_start_s, prep.n_reads, proba
+                    )
+                except Exception as exc:
+                    decision = self._degrade(item, prep.n_reads, exc)
+        from repro.core.streaming import (
+            REASON_BREAKER_OPEN,
+            REASON_DEADLINE,
+            REASON_STAGE_FAILURE,
+        )
+
+        if decision.reason not in (
+            REASON_BREAKER_OPEN,
+            REASON_DEADLINE,
+            REASON_STAGE_FAILURE,
+        ):
+            # Degraded windows were already dead-lettered; only cleanly
+            # served decisions face the late-completion deadline check.
+            decision = self._deadline_post_check(
+                item, prep.n_reads, prep.deadline, decision
+            )
+        counter("streaming.windows_total").inc()
+        return self._finalize(decision)
+
+    def _window_deadline(self) -> float | None:
+        """Absolute monotonic deadline for a window starting now."""
+        if self.window_deadline_s is None:
+            return None
+        return self.clock() + self.window_deadline_s
+
+    def _degrade(
+        self, item: _QueuedWindow, n_reads: int, exc: BaseException
+    ) -> "WindowDecision":
+        """Map a failure to an abstain decision plus a dead letter."""
         from repro.core.streaming import (
             REASON_BREAKER_OPEN,
             REASON_DEADLINE,
@@ -305,60 +517,79 @@ class PipelineSupervisor:
         )
 
         t_end = item.t_start_s + self.identifier.window_s
-        n_reads = item.log.n_reads
-        t_begin = self.clock()
-        deadline = (
-            None
-            if self.window_deadline_s is None
-            else t_begin + self.window_deadline_s
+        if isinstance(exc, CircuitOpenError):
+            reason, stage, cause = REASON_BREAKER_OPEN, exc.stage, exc
+        elif isinstance(exc, DeadlineExceededError):
+            counter("runtime.deadline_exceeded_total").inc()
+            reason, stage, cause = REASON_DEADLINE, exc.stage, exc
+        elif isinstance(exc, StageFailureError):
+            reason, stage = REASON_STAGE_FAILURE, exc.stage
+            cause = exc.__cause__ or exc
+        else:
+            # Unattributed failure (calibration, windowing, ...):
+            # still degrade to an abstain, never escape.
+            reason, stage, cause = REASON_STAGE_FAILURE, "window", exc
+        self._dead_letter(item, t_end, stage, cause, n_reads=n_reads)
+        return abstain_decision(item.t_start_s, t_end, n_reads, reason)
+
+    def _deadline_post_check(
+        self,
+        item: _QueuedWindow,
+        n_reads: int,
+        deadline: float | None,
+        decision: "WindowDecision",
+    ) -> "WindowDecision":
+        """Discard a decision completed past its budget."""
+        from repro.core.streaming import REASON_DEADLINE, abstain_decision
+
+        if deadline is None or self.clock() <= deadline:
+            return decision
+        # Completed, but past budget: a late decision is useless to a
+        # real-time consumer.
+        counter("runtime.deadline_exceeded_total").inc()
+        t_end = item.t_start_s + self.identifier.window_s
+        self._dead_letter(
+            item, t_end, "window", DeadlineExceededError("window"),
+            n_reads=n_reads,
         )
-        guards = GuardSet(self.breakers, deadline=deadline, clock=self.clock)
-        decision: "WindowDecision"
-        with span("runtime.window", t_start_s=item.t_start_s):
-            try:
-                with guard_scope(guards):
-                    decision = self.identifier.identify_window(
-                        item.log, item.t_start_s
-                    )
-            except CircuitOpenError as exc:
-                decision = abstain_decision(
-                    item.t_start_s, t_end, n_reads, REASON_BREAKER_OPEN
-                )
-                self._dead_letter(item, t_end, exc.stage, exc)
-            except DeadlineExceededError as exc:
-                counter("runtime.deadline_exceeded_total").inc()
-                decision = abstain_decision(
-                    item.t_start_s, t_end, n_reads, REASON_DEADLINE
-                )
-                self._dead_letter(item, t_end, exc.stage, exc)
-            except StageFailureError as exc:
-                decision = abstain_decision(
-                    item.t_start_s, t_end, n_reads, REASON_STAGE_FAILURE
-                )
-                self._dead_letter(item, t_end, exc.stage, exc.__cause__ or exc)
-            except Exception as exc:
-                # Unattributed failure (calibration, windowing, ...):
-                # still degrade to an abstain, never escape.
-                decision = abstain_decision(
-                    item.t_start_s, t_end, n_reads, REASON_STAGE_FAILURE
-                )
-                self._dead_letter(item, t_end, "window", exc)
-            else:
-                if deadline is not None and self.clock() > deadline:
-                    # Completed, but past budget: a late decision is
-                    # useless to a real-time consumer.
-                    counter("runtime.deadline_exceeded_total").inc()
-                    self._dead_letter(
-                        item, t_end, "window", DeadlineExceededError("window")
-                    )
-                    decision = abstain_decision(
-                        item.t_start_s, t_end, n_reads, REASON_DEADLINE
-                    )
+        return abstain_decision(item.t_start_s, t_end, n_reads, REASON_DEADLINE)
+
+    def _finalize(self, decision: "WindowDecision") -> "WindowDecision":
+        """Per-window accounting shared by both serving paths."""
         self._windows_total += 1
         counter("runtime.windows_total").inc()
         if decision.abstained:
             self._abstained += 1
         return decision
+
+    def _lost_window(
+        self, item: _QueuedWindow, exc: BaseException
+    ) -> "WindowDecision":
+        """Account for a window the machinery itself failed on.
+
+        A dequeued window must never vanish: it lands in the dead
+        letters attributed to the ``supervisor`` stage and yields a
+        stage-failure abstain, keeping queue + dead-letter + decision
+        counts summing to submissions.
+        """
+        from repro.core.streaming import REASON_STAGE_FAILURE, abstain_decision
+
+        t_end = item.t_start_s + self.identifier.window_s
+        n_reads = self._safe_n_reads(item)
+        self._dead_letter(item, t_end, "supervisor", exc, n_reads=n_reads)
+        return self._finalize(
+            abstain_decision(
+                item.t_start_s, t_end, n_reads, REASON_STAGE_FAILURE
+            )
+        )
+
+    @staticmethod
+    def _safe_n_reads(item: _QueuedWindow) -> int:
+        """Read count of a possibly poisoned log (0 when unreadable)."""
+        try:
+            return int(item.log.n_reads)
+        except Exception:
+            return 0
 
     def _dead_letter(
         self,
@@ -366,6 +597,7 @@ class PipelineSupervisor:
         t_end: float,
         stage: str,
         exc: BaseException,
+        n_reads: int | None = None,
     ) -> None:
         self._failed += 1
         counter("runtime.dead_letter_total", stage=stage).inc()
@@ -375,6 +607,8 @@ class PipelineSupervisor:
                 t_end_s=t_end,
                 stage=stage,
                 error=repr(exc),
-                n_reads=item.log.n_reads,
+                n_reads=(
+                    self._safe_n_reads(item) if n_reads is None else n_reads
+                ),
             )
         )

@@ -1,0 +1,172 @@
+"""Shipping :class:`~repro.hardware.llrp.ReadLog` to worker processes.
+
+A fleet's process workers receive read logs from the ingest side.  A
+small log travels inline (pickled through the command queue), but a
+large one — minutes of dense-deployment inventory, megabytes of
+struct-of-arrays — would be copied twice by the queue's pickle round
+trip.  Above :data:`SHARED_MEMORY_MIN_BYTES` the numeric arrays are
+packed into one :class:`multiprocessing.shared_memory.SharedMemory`
+block instead and only the block name plus array headers cross the
+queue.
+
+The receiver copies out of the block and unlinks it immediately, so
+blocks live exactly as long as one submission and a crashed consumer
+leaks at most the blocks in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.llrp import ReadLog, ReaderMeta
+
+__all__ = [
+    "SHARED_MEMORY_MIN_BYTES",
+    "ShippedLog",
+    "discard_shipped",
+    "ship_log",
+    "unship_log",
+]
+
+SHARED_MEMORY_MIN_BYTES = 1 << 16
+"""Logs whose array payload exceeds this travel via shared memory."""
+
+_ARRAY_FIELDS = (
+    "tag_index",
+    "antenna",
+    "channel",
+    "frequency_hz",
+    "timestamp_s",
+    "phase_rad",
+    "rssi_dbm",
+)
+
+
+@dataclass(frozen=True)
+class ShippedLog:
+    """A read log encoded for transport to another process.
+
+    Attributes:
+        epcs: the log's EPC vocabulary (tiny; always inline).
+        meta: session facts (tiny; always inline).
+        headers: per-array ``(name, dtype_str, shape)`` tuples in
+            payload order.
+        inline: concatenated array bytes when travelling inline,
+            None when a shared-memory block carries them.
+        shm_name: name of the shared-memory block, None when inline.
+        nbytes: total payload size (sizing decisions + metrics).
+    """
+
+    epcs: tuple[str, ...]
+    meta: ReaderMeta
+    headers: tuple[tuple[str, str, tuple[int, ...]], ...]
+    inline: bytes | None
+    shm_name: str | None
+    nbytes: int
+
+
+def _payload(log: ReadLog) -> tuple[tuple, bytes]:
+    headers = []
+    chunks = []
+    for name in _ARRAY_FIELDS:
+        arr = np.ascontiguousarray(getattr(log, name))
+        headers.append((name, arr.dtype.str, tuple(arr.shape)))
+        chunks.append(arr.tobytes())
+    return tuple(headers), b"".join(chunks)
+
+
+def ship_log(
+    log: ReadLog, min_shared_bytes: int = SHARED_MEMORY_MIN_BYTES
+) -> ShippedLog:
+    """Encode a log for the command queue.
+
+    Args:
+        log: the log to ship.
+        min_shared_bytes: payload size above which a shared-memory
+            block is used instead of inline bytes.
+
+    Returns:
+        A picklable :class:`ShippedLog` (the heavy arrays live in
+        shared memory when large).
+    """
+    headers, payload = _payload(log)
+    if len(payload) < min_shared_bytes:
+        return ShippedLog(
+            epcs=log.epcs,
+            meta=log.meta,
+            headers=headers,
+            inline=payload,
+            shm_name=None,
+            nbytes=len(payload),
+        )
+    from multiprocessing import shared_memory
+
+    block = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        block.buf[: len(payload)] = payload
+        name = block.name
+    finally:
+        block.close()
+    return ShippedLog(
+        epcs=log.epcs,
+        meta=log.meta,
+        headers=headers,
+        inline=None,
+        shm_name=name,
+        nbytes=len(payload),
+    )
+
+
+def unship_log(shipped: ShippedLog) -> ReadLog:
+    """Decode a :class:`ShippedLog` back into an owned :class:`ReadLog`.
+
+    Shared-memory blocks are copied out, closed and unlinked here, so
+    the returned log owns its arrays and the block is gone.
+
+    Raises:
+        FileNotFoundError: when the shared block vanished (producer
+            crashed before the consumer attached).
+    """
+    if shipped.inline is not None:
+        payload = shipped.inline
+    else:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=shipped.shm_name)
+        try:
+            payload = bytes(block.buf[: shipped.nbytes])
+        finally:
+            block.close()
+            block.unlink()
+    arrays = {}
+    offset = 0
+    for name, dtype_str, shape in shipped.headers:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        arrays[name] = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=offset
+        ).reshape(shape).copy()
+        offset += nbytes
+    return ReadLog(epcs=shipped.epcs, meta=shipped.meta, **arrays)
+
+
+def discard_shipped(shipped: ShippedLog) -> None:
+    """Release a shipped log without decoding it (shed/reject paths).
+
+    Unlinks the shared block when one exists; inline payloads need no
+    cleanup.  Missing blocks are ignored — the consumer may already
+    have unshipped it.
+    """
+    if shipped.shm_name is None:
+        return
+    from multiprocessing import shared_memory
+
+    try:
+        block = shared_memory.SharedMemory(name=shipped.shm_name)
+    except FileNotFoundError:
+        return
+    block.close()
+    block.unlink()

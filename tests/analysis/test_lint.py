@@ -89,6 +89,13 @@ BAD_EXAMPLES: dict[str, tuple[str, str]] = {
         "def elapsed(t0):\n"
         "    return time.time() - t0\n",
     ),
+    "RPR011": (
+        "src/repro/module.py",
+        "import multiprocessing\n"
+        "def fan_out(jobs):\n"
+        "    with multiprocessing.Pool(4) as pool:\n"
+        "        return pool.map(str, jobs)\n",
+    ),
 }
 
 GOOD_EXAMPLES: dict[str, tuple[str, str]] = {
@@ -163,6 +170,12 @@ GOOD_EXAMPLES: dict[str, tuple[str, str]] = {
         "import time\n"
         "def elapsed(t0):\n"
         "    return time.monotonic() - t0\n",
+    ),
+    "RPR011": (
+        "src/repro/module.py",
+        "from repro.serving.workers import ProcessShardWorker\n"
+        "def fan_out(factory):\n"
+        "    return ProcessShardWorker(0, factory)\n",
     ),
 }
 
@@ -301,6 +314,21 @@ def test_monotonic_and_perf_counter_clean():
 def test_epoch_stamp_suppression_allows_wall_clock():
     src = "import time\nstamp = time.time()  # reprolint: disable=RPR010\n"
     assert codes(lint_source(src)) == []
+
+
+def test_pool_import_from_flagged():
+    src = "from multiprocessing import Pool\n"
+    assert codes(lint_source(src, path="src/repro/x.py")) == ["RPR011"]
+
+
+def test_pool_via_dummy_and_alias_flagged():
+    src = (
+        "import multiprocessing as mp\n"
+        "import multiprocessing.dummy\n"
+        "a = mp.Pool(2)\n"
+        "b = multiprocessing.dummy.Pool(2)\n"
+    )
+    assert codes(lint_source(src, path="src/repro/x.py")) == ["RPR011", "RPR011"]
 
 
 def test_docstring_rule_skips_tests_and_scripts():

@@ -1,0 +1,115 @@
+"""Thread-safety of the steering-matrix LRU cache.
+
+The fleet's inline mode serves many streams in one process, so
+``cached_steering_matrix`` gets hammered from concurrent ticks.  The
+cache must never corrupt its LRU bookkeeping, exceed its bound, or
+hand different callers different matrices for the same key.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dsp.music import (
+    STEERING_CACHE_MAXSIZE,
+    cached_steering_matrix,
+    clear_steering_cache,
+    steering_cache_info,
+    steering_matrix,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_steering_cache()
+    yield
+    clear_steering_cache()
+
+
+def _key_args(i: int) -> tuple:
+    grid = np.linspace(-60.0, 60.0, 31) + (i % 7)
+    return (grid, 4, 0.16, 0.32 + 1e-4 * (i % 5))
+
+
+def test_concurrent_hammer_no_corruption():
+    n_threads = 8
+    iters = 200
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        try:
+            barrier.wait()
+            for _ in range(iters):
+                i = int(rng.integers(0, 40))
+                a = cached_steering_matrix(*_key_args(i))
+                assert a.shape == (4, 31)
+                assert not a.flags.writeable
+                # Every caller of the same key must observe the same
+                # values, whichever thread built the entry.
+                np.testing.assert_allclose(a, steering_matrix(*_key_args(i)))
+        except BaseException as exc:  # noqa: BLE001 - collect for main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    info = steering_cache_info()
+    assert 0 < info["size"] <= STEERING_CACHE_MAXSIZE
+
+
+def test_concurrent_eviction_respects_bound():
+    n_threads = 6
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(offset: int) -> None:
+        try:
+            barrier.wait()
+            # Each thread walks a distinct key range so the union far
+            # exceeds the cache bound and eviction races with inserts.
+            for i in range(STEERING_CACHE_MAXSIZE):
+                grid = np.array([float(offset * 1000 + i)])
+                cached_steering_matrix(grid, 4, 0.16, 0.32)
+        except BaseException as exc:  # noqa: BLE001 - collect for main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(off,)) for off in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    assert steering_cache_info()["size"] <= STEERING_CACHE_MAXSIZE
+
+
+def test_racing_same_miss_returns_single_winner():
+    n_threads = 8
+    results: list[np.ndarray] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_threads)
+
+    def worker() -> None:
+        barrier.wait()
+        a = cached_steering_matrix(np.linspace(-90, 90, 181), 8, 0.16, 0.32)
+        with lock:
+            results.append(a)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == n_threads
+    # setdefault picks one winner; later callers must all alias it.
+    winner = results[0]
+    assert all(a is winner for a in results)

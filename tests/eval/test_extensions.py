@@ -51,6 +51,7 @@ class TestExperimentRegistry:
             "ext-robustness",
             "ext-batching",
             "ext-resilience",
+            "ext-serving",
         } == set(EXTENSIONS)
 
     def test_drivers_are_callable_with_standard_signature(self):

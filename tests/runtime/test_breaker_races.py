@@ -1,0 +1,175 @@
+"""Concurrency and property tests for the circuit breaker.
+
+The half-open state admits exactly ONE probe; a race between threads
+arriving just after the reset timeout must not let two probes through
+(two probes double-hit a struggling stage and can double-transition
+the breaker).  The hypothesis test drives the full
+closed → open → half-open → {closed, open} cycle with seeded random
+failures and checks the state machine's invariants at every step.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+
+from .conftest import FakeClock
+
+
+def _opened_breaker(clock: FakeClock, threshold: int = 3) -> CircuitBreaker:
+    breaker = CircuitBreaker(
+        "stage", failure_threshold=threshold, reset_timeout_s=10.0, clock=clock
+    )
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    return breaker
+
+
+def test_racing_probes_admit_exactly_one():
+    clock = FakeClock(t=0.0)
+    breaker = _opened_breaker(clock)
+    clock.t = 11.0  # past the reset timeout: next call may probe
+
+    n_threads = 8
+    admitted: list[int] = []
+    rejected: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_threads)
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        try:
+            breaker.before_call()
+        except CircuitOpenError:
+            with lock:
+                rejected.append(i)
+        else:
+            with lock:
+                admitted.append(i)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(admitted) == 1, (admitted, rejected)
+    assert len(rejected) == n_threads - 1
+    assert breaker.state == STATE_HALF_OPEN
+
+
+def test_second_probe_allowed_after_first_resolves():
+    clock = FakeClock(t=0.0)
+    breaker = _opened_breaker(clock)
+    clock.t = 11.0
+    breaker.before_call()  # probe admitted
+    breaker.record_failure()  # probe fails -> re-open
+    assert breaker.state == STATE_OPEN
+    clock.t = 22.0
+    breaker.before_call()  # a fresh probe after another full timeout
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+
+
+def test_racing_probes_after_failed_probe_still_admit_one():
+    clock = FakeClock(t=0.0)
+    breaker = _opened_breaker(clock)
+    clock.t = 11.0
+    breaker.before_call()
+    breaker.record_failure()
+    clock.t = 22.0
+
+    n_threads = 6
+    outcomes: list[bool] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_threads)
+
+    def worker() -> None:
+        barrier.wait()
+        try:
+            breaker.before_call()
+            ok = True
+        except CircuitOpenError:
+            ok = False
+        with lock:
+            outcomes.append(ok)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert outcomes.count(True) == 1
+
+
+_LEGAL_EDGES = {
+    (STATE_CLOSED, STATE_OPEN),
+    (STATE_OPEN, STATE_HALF_OPEN),
+    (STATE_HALF_OPEN, STATE_CLOSED),
+    (STATE_HALF_OPEN, STATE_OPEN),
+    (STATE_OPEN, STATE_CLOSED),  # operator reset() only
+}
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    threshold=st.integers(min_value=1, max_value=4),
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_cycle_invariants_under_random_failures(threshold, outcomes, seed):
+    """The breaker walks only legal edges under any failure pattern.
+
+    A reference model tracks what the state must be after every
+    attempted call; clock advances are derived from the seeded
+    outcome stream so the open->half-open edge is exercised too.
+    """
+    clock = FakeClock(t=0.0)
+    breaker = CircuitBreaker(
+        "stage", failure_threshold=threshold, reset_timeout_s=5.0, clock=clock
+    )
+    consecutive = 0
+    for i, success in enumerate(outcomes):
+        # Deterministically interleave waits so some attempts land
+        # before the reset timeout (rejected) and some after (probe).
+        wait_long = (seed >> (i % 16)) & 1
+        clock.t += 6.0 if wait_long else 1.0
+
+        state_before = breaker.state
+        try:
+            breaker.before_call()
+        except CircuitOpenError:
+            # Rejections only happen while open, before the timeout.
+            assert state_before == STATE_OPEN
+            assert breaker.state == STATE_OPEN
+            continue
+        if success:
+            breaker.record_success()
+            assert breaker.state == STATE_CLOSED
+            consecutive = 0
+        else:
+            breaker.record_failure()
+            consecutive += 1
+            if state_before in (STATE_OPEN, STATE_HALF_OPEN):
+                # A failed probe must re-open immediately.
+                assert breaker.state == STATE_OPEN
+                consecutive = 0
+            elif consecutive >= threshold:
+                assert breaker.state == STATE_OPEN
+                consecutive = 0
+            else:
+                assert breaker.state == STATE_CLOSED
+
+    for edge in breaker.transitions:
+        assert edge in _LEGAL_EDGES, breaker.transitions

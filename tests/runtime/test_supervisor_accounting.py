@@ -1,0 +1,188 @@
+"""No dequeued window is ever lost — the accounting invariant.
+
+Regression tests for the lost-window bug: a failure *after* dequeue
+(in the supervision machinery itself, not just in a guarded stage)
+used to drop the window with no decision and no dead letter.  Every
+path out of the queue must now end in exactly one decision, with
+failures additionally retained as stage-attributed dead letters, so
+
+    decisions emitted + still queued + shed == windows submitted
+
+holds at every point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.streaming import (
+    REASON_STAGE_FAILURE,
+    StreamingIdentifier,
+)
+from repro.runtime import PipelineSupervisor
+
+from .conftest import FailingPipeline, StubPipeline, make_log
+
+
+def _supervisor(pipeline=None, **kwargs) -> PipelineSupervisor:
+    identifier = StreamingIdentifier(
+        pipeline or StubPipeline(), window_s=4.0, min_reads=8
+    )
+    return PipelineSupervisor(identifier, **kwargs)
+
+
+def _accounted(sup, decisions, submitted):
+    health = sup.health()
+    return len(decisions) + health.queue_depth + health.shed_windows == submitted
+
+
+class PoisonedLog:
+    """A window log whose attributes raise on access."""
+
+    @property
+    def n_reads(self):
+        raise OSError("backing store went away")
+
+    def __getattr__(self, name):
+        raise OSError("backing store went away")
+
+
+class TestMachineryFailureAfterDequeue:
+    def test_process_window_crash_yields_decision_and_dead_letter(self, monkeypatch):
+        sup = _supervisor()
+        submitted = sup.submit_stream(make_log(n=900, duration_s=8.0))
+        assert submitted == 2
+
+        def boom(item):
+            raise MemoryError("supervisor machinery died")
+
+        monkeypatch.setattr(sup, "_process_window", boom)
+        decisions = sup.drain()
+
+        assert len(decisions) == submitted
+        assert all(d.abstained for d in decisions)
+        assert all(d.reason == REASON_STAGE_FAILURE for d in decisions)
+        letters = sup.dead_letters()
+        assert len(letters) == submitted
+        assert all(dl.stage == "supervisor" for dl in letters)
+        assert all("MemoryError" in dl.error for dl in letters)
+        assert _accounted(sup, decisions, submitted)
+
+    def test_poisoned_log_attribute_access_cannot_lose_window(self):
+        sup = _supervisor()
+        sup.submit(PoisonedLog(), t_start_s=0.0)
+        decisions = sup.drain()
+
+        assert len(decisions) == 1
+        assert decisions[0].abstained
+        assert decisions[0].reason == REASON_STAGE_FAILURE
+        assert decisions[0].n_reads == 0  # unreadable log reads as 0
+        assert len(sup.dead_letters()) == 1
+        assert _accounted(sup, decisions, 1)
+
+    def test_mixed_healthy_and_poisoned_windows_all_accounted(self):
+        sup = _supervisor()
+        submitted = sup.submit_stream(make_log(n=900, duration_s=8.0))
+        sup.submit(PoisonedLog(), t_start_s=8.0)
+        submitted += 1
+        decisions = sup.drain()
+
+        assert len(decisions) == submitted
+        assert _accounted(sup, decisions, submitted)
+        poisoned = [d for d in decisions if d.reason == REASON_STAGE_FAILURE]
+        healthy = [d for d in decisions if d.reason != REASON_STAGE_FAILURE]
+        assert len(poisoned) == 1
+        assert len(healthy) == submitted - 1
+        assert all(not d.abstained for d in healthy)
+
+
+class TestSplitPhaseAccounting:
+    def test_every_popped_window_finishes_exactly_once(self):
+        sup = _supervisor()
+        submitted = sup.submit_stream(make_log(n=1800, duration_s=16.0))
+        decisions = []
+        while True:
+            item = sup.pop_window()
+            if item is None:
+                break
+            prep = sup.begin_window(item)
+            if prep.decision is not None:
+                decisions.append(sup.finish_window(prep))
+                continue
+            probas = sup.identifier.predict_prepared([prep.sample])
+            decisions.append(sup.finish_window(prep, proba=probas[0]))
+        assert len(decisions) == submitted
+        assert sup.health().windows_total == submitted
+        assert _accounted(sup, decisions, submitted)
+
+    def test_begin_window_failure_resolves_not_raises(self):
+        sup = _supervisor(pipeline=FailingPipeline())
+        sup.submit(PoisonedLog(), t_start_s=0.0)
+        item = sup.pop_window()
+        prep = sup.begin_window(item)
+        assert prep.decision is not None  # degraded, not raised
+        decision = sup.finish_window(prep)
+        assert decision.abstained
+        assert decision.reason == REASON_STAGE_FAILURE
+        assert len(sup.dead_letters()) == 1
+
+    def test_finish_window_with_error_degrades_under_lane_attribution(self):
+        sup = _supervisor()
+        sup.submit_stream(make_log(n=900, duration_s=8.0))
+        item = sup.pop_window()
+        prep = sup.begin_window(item)
+        assert prep.decision is None
+        decision = sup.finish_window(prep, error=RuntimeError("batch blew up"))
+        assert decision.abstained
+        assert decision.reason == REASON_STAGE_FAILURE
+        letters = sup.dead_letters()
+        assert len(letters) == 1
+        assert "batch blew up" in letters[0].error
+
+    def test_finish_window_without_proba_or_error_still_resolves(self):
+        sup = _supervisor()
+        sup.submit_stream(make_log(n=900, duration_s=8.0))
+        prep = sup.begin_window(sup.pop_window())
+        assert prep.decision is None
+        decision = sup.finish_window(prep)  # caller forgot the proba
+        assert decision.abstained
+        assert decision.reason == REASON_STAGE_FAILURE
+
+    def test_drop_window_dead_letters_and_counts_shed(self):
+        sup = _supervisor()
+        submitted = sup.submit_stream(make_log(n=900, duration_s=8.0))
+        assert submitted >= 1
+        item = sup.pop_window()
+        sup.drop_window(item, stage="serving.shed")
+        health = sup.health()
+        assert health.shed_windows == 1
+        letters = sup.dead_letters()
+        assert letters[-1].stage == "serving.shed"
+        decisions = sup.drain()
+        assert len(decisions) + 1 == submitted  # the dropped one is shed
+        assert _accounted(sup, decisions, submitted)
+
+
+@pytest.mark.parametrize("n_poisoned", [1, 3])
+def test_sum_invariant_holds_under_partial_drain(n_poisoned):
+    sup = _supervisor()
+    submitted = sup.submit_stream(make_log(n=1800, duration_s=16.0))
+    for k in range(n_poisoned):
+        sup.submit(PoisonedLog(), t_start_s=100.0 + 4.0 * k)
+    submitted += n_poisoned
+
+    # Drain only part of the queue through the split-phase API.
+    decisions = []
+    for _ in range(2):
+        item = sup.pop_window()
+        prep = sup.begin_window(item)
+        if prep.decision is not None:
+            decisions.append(sup.finish_window(prep))
+        else:
+            probas = sup.identifier.predict_prepared([prep.sample])
+            decisions.append(sup.finish_window(prep, proba=probas[0]))
+    assert _accounted(sup, decisions, submitted)
+
+    decisions += sup.drain()
+    assert len(decisions) == submitted
+    assert _accounted(sup, decisions, submitted)

@@ -1,0 +1,77 @@
+"""Round-trip fidelity of the shared-memory log transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.sharedlog import (
+    SHARED_MEMORY_MIN_BYTES,
+    discard_shipped,
+    ship_log,
+    unship_log,
+)
+
+from .conftest import make_log
+
+
+def _assert_logs_equal(a, b):
+    assert a.epcs == b.epcs
+    assert a.meta == b.meta
+    for name in (
+        "tag_index",
+        "antenna",
+        "channel",
+        "frequency_hz",
+        "timestamp_s",
+        "phase_rad",
+        "rssi_dbm",
+    ):
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.dtype == right.dtype, name
+        np.testing.assert_array_equal(left, right, err_msg=name)
+
+
+def test_small_log_travels_inline():
+    log = make_log(n=20)
+    shipped = ship_log(log)
+    assert shipped.shm_name is None
+    assert shipped.inline is not None
+    _assert_logs_equal(log, unship_log(shipped))
+
+
+def test_large_log_travels_via_shared_memory():
+    log = make_log(n=3000)
+    shipped = ship_log(log)
+    assert shipped.nbytes >= SHARED_MEMORY_MIN_BYTES
+    assert shipped.shm_name is not None
+    assert shipped.inline is None
+    restored = unship_log(shipped)
+    _assert_logs_equal(log, restored)
+    # The block was unlinked by unship_log: decoding twice must fail.
+    with pytest.raises(FileNotFoundError):
+        unship_log(shipped)
+
+
+def test_restored_log_owns_its_arrays():
+    log = make_log(n=3000)
+    restored = unship_log(ship_log(log))
+    restored.phase_rad[0] = 999.0  # would blow up on a read-only view
+
+
+def test_threshold_is_tunable():
+    log = make_log(n=20)
+    shipped = ship_log(log, min_shared_bytes=1)
+    assert shipped.shm_name is not None
+    _assert_logs_equal(log, unship_log(shipped))
+
+
+def test_discard_releases_shared_block():
+    log = make_log(n=3000)
+    shipped = ship_log(log)
+    discard_shipped(shipped)
+    with pytest.raises(FileNotFoundError):
+        unship_log(shipped)
+    # Discarding again (or an inline log) is a no-op.
+    discard_shipped(shipped)
+    discard_shipped(ship_log(make_log(n=20)))

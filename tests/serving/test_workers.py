@@ -1,0 +1,116 @@
+"""Process shard workers: RPC, crash detection, stream reassignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    FleetServer,
+    ProcessShardWorker,
+    WorkerCrashedError,
+)
+
+from .conftest import make_factory, make_log
+
+
+@pytest.fixture
+def worker():
+    w = ProcessShardWorker(0, make_factory(), rpc_timeout_s=60.0)
+    yield w
+    w.stop()
+
+
+class TestProcessWorkerRPC:
+    def test_round_trip_serving(self, worker):
+        worker.add_stream("s0")
+        n = worker.submit("s0", make_log(n=1500, seed=0, duration_s=10.0))
+        assert n == 4
+        assert worker.queue_depths() == {"s0": 4}
+        result = worker.tick()
+        assert len(result.decisions["s0"]) == 4
+        assert result.depths == {"s0": 0}
+        assert worker.stream_ids() == ["s0"]
+
+    def test_large_log_crosses_process_boundary(self, worker):
+        worker.add_stream("s0")
+        # ~56 bytes/read x 3000 reads > the shared-memory threshold.
+        n = worker.submit("s0", make_log(n=3000, seed=1, duration_s=10.0))
+        assert n == 4
+        result = worker.tick()
+        assert sum(len(ds) for ds in result.decisions.values()) == 4
+
+    def test_worker_error_surfaces_without_killing_worker(self, worker):
+        with pytest.raises(RuntimeError, match="already admitted") as excinfo:
+            worker.add_stream("s0")
+            worker.add_stream("s0")
+        assert not isinstance(excinfo.value, WorkerCrashedError)
+        assert worker.alive()
+
+    def test_crash_detected_on_next_call(self, worker):
+        worker.add_stream("s0")
+        worker.crash()
+        assert not worker.alive()
+        with pytest.raises(WorkerCrashedError):
+            worker.queue_depths()
+
+    def test_stop_is_idempotent(self):
+        w = ProcessShardWorker(0, make_factory())
+        w.stop()
+        w.stop()
+        assert not w.alive()
+
+
+class TestCrashRecovery:
+    def test_fleet_reassigns_streams_and_keeps_serving(self):
+        fleet = FleetServer(
+            make_factory(), capacity=4, n_shards=2, mode="process"
+        )
+        try:
+            for i in range(4):
+                fleet.admit(f"s{i}")
+            log = make_log(n=1500, seed=0, duration_s=10.0)
+            for i in range(4):
+                fleet.submit(f"s{i}", log)
+            first = fleet.drain()
+            assert all(len(ds) == 4 for ds in first.values())
+
+            victims = set(fleet.workers[0].stream_ids())
+            assert victims
+            fleet.workers[0].crash()
+            assert not fleet.workers[0].alive()
+
+            fleet.tick()  # detects the corpse, respawns, reassigns
+            health = fleet.health()
+            assert health.reassigned_total == len(victims)
+            assert fleet.workers[0].alive()
+            assert set(fleet.workers[0].stream_ids()) == victims
+
+            # The reassigned streams serve again on the replacement.
+            for i in range(4):
+                fleet.submit(f"s{i}", log)
+            second = fleet.drain()
+            assert set(second) == {f"s{i}" for i in range(4)}
+            assert all(len(ds) == 4 for ds in second.values())
+        finally:
+            fleet.stop()
+
+    def test_crash_only_loses_the_dead_shards_queue(self):
+        fleet = FleetServer(
+            make_factory(), capacity=2, n_shards=2, mode="process"
+        )
+        try:
+            fleet.admit("a")  # shard 0
+            fleet.admit("b")  # shard 1
+            log = make_log(n=1500, seed=0, duration_s=10.0)
+            fleet.submit("a", log)
+            fleet.submit("b", log)
+            fleet.workers[0].crash()
+            decisions = fleet.drain()
+            # Shard 1's stream is untouched by shard 0's death.
+            assert len(decisions.get("b", [])) == 4
+            assert "a" not in decisions  # its queue died with the worker
+            # ...but the stream itself survives and serves new data.
+            fleet.submit("a", log)
+            assert len(fleet.drain()["a"]) == 4
+        finally:
+            fleet.stop()
