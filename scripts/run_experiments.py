@@ -60,9 +60,9 @@ def main() -> None:
             continue
         runner = ALL_EXPERIMENTS[exp_id]
         print(f"[run ] {exp_id} ...", flush=True)
-        t0 = time.time()
+        t0 = time.monotonic()
         result = runner(quick=not args.full, seed=args.seed)
-        elapsed = time.time() - t0
+        elapsed = time.monotonic() - t0
         block = result.render() + f"\n\n(wall-clock: {elapsed:.0f} s, " \
             f"mode: {'full' if args.full else 'quick'}, seed: {args.seed})\n"
         results[exp_id] = block

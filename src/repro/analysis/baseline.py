@@ -1,0 +1,237 @@
+"""Findings baseline: the ratchet that lets CI fail on NEW findings only.
+
+Turning on whole-project rules over a living codebase surfaces
+historical findings that are real but not this change's fault.  The
+baseline file (``.reprolint-baseline.json``, committed at the repo
+root) records those as stable fingerprints with a justification each;
+the lint driver subtracts them, so CI goes red only when a change
+*introduces* a finding.  ``--update-baseline`` re-records the current
+state, and entries whose finding has disappeared are reported as
+*stale* (informative, never failing — two CI invocations may share one
+baseline while covering different trees).
+
+Fingerprints hash ``relative-path|code|message``, with the path taken
+relative to the baseline file's own directory.  That makes the same
+finding match whether the linter was invoked as ``lint src`` from the
+repo root or with an absolute path from anywhere else — and makes the
+fingerprint survive a repo checkout at a different location.
+Line/column are deliberately excluded so unrelated edits above a
+baselined finding do not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.rules import Finding
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "BaselineEntry",
+    "discover_baseline",
+    "fingerprint",
+    "split_findings",
+]
+
+BASELINE_FILENAME = ".reprolint-baseline.json"
+"""Canonical name of the committed baseline file."""
+
+_FORMAT_VERSION = 1
+
+
+def _normalize_path(raw: str, root: Path) -> str:
+    """``raw`` relative to ``root``, posix separators, best effort."""
+    try:
+        rel = os.path.relpath(os.path.abspath(raw), os.path.abspath(str(root)))
+    except ValueError:  # pragma: no cover - different drive on windows
+        rel = raw
+    return rel.replace(os.sep, "/")
+
+
+def fingerprint(finding: Finding, root: Path) -> str:
+    """Stable identity of a finding, independent of line numbers.
+
+    Args:
+        finding: the finding to fingerprint.
+        root: directory the baseline file lives in; paths are
+            normalized relative to it.
+
+    Returns:
+        16 hex chars of the sha256 of ``path|code|message``.
+    """
+    norm = _normalize_path(finding.path, root)
+    payload = f"{norm}|{finding.code}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding.
+
+    Attributes:
+        fingerprint: :func:`fingerprint` of the accepted finding.
+        path: root-relative path (informational; the fingerprint is
+            authoritative).
+        code: rule code.
+        message: the finding message at acceptance time.
+        justification: why this finding is accepted rather than fixed.
+    """
+
+    fingerprint: str
+    path: str
+    code: str
+    message: str
+    justification: str
+
+    def as_dict(self) -> dict[str, str]:
+        """JSON-ready representation."""
+        return {
+            "fingerprint": self.fingerprint,
+            "path": self.path,
+            "code": self.code,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file.
+
+    Attributes:
+        path: where it was loaded from (None for the empty baseline).
+        entries: fingerprint → entry.
+    """
+
+    path: Path | None = None
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @property
+    def root(self) -> Path:
+        """Directory paths are normalized against."""
+        return self.path.parent if self.path is not None else Path.cwd()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file.
+
+        Raises:
+            ValueError: on an unreadable or wrong-version file.
+        """
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {payload.get('version')!r}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        entries: dict[str, BaselineEntry] = {}
+        for raw in payload.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=str(raw.get("fingerprint", "")),
+                path=str(raw.get("path", "")),
+                code=str(raw.get("code", "")),
+                message=str(raw.get("message", "")),
+                justification=str(raw.get("justification", "")),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(path=path, entries=entries)
+
+    def save(self, path: Path | None = None) -> Path:
+        """Write the baseline (sorted, stable diffs) and return the path."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        ordered = sorted(
+            self.entries.values(), key=lambda e: (e.path, e.code, e.message)
+        )
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [e.as_dict() for e in ordered],
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        path: Path,
+        previous: "Baseline | None" = None,
+        default_justification: str = "accepted pre-existing finding",
+    ) -> "Baseline":
+        """Build a baseline accepting every given finding.
+
+        Justifications of entries that survive from ``previous`` are
+        preserved; new entries get ``default_justification`` (edit the
+        file to say something real before committing).
+        """
+        root = path.parent
+        entries: dict[str, BaselineEntry] = {}
+        for f in findings:
+            fp = fingerprint(f, root)
+            old = previous.entries.get(fp) if previous is not None else None
+            entries[fp] = BaselineEntry(
+                fingerprint=fp,
+                path=_normalize_path(f.path, root),
+                code=f.code,
+                message=f.message,
+                justification=(
+                    old.justification if old is not None else default_justification
+                ),
+            )
+        return cls(path=path, entries=entries)
+
+
+def discover_baseline(start: Path) -> Path | None:
+    """Walk up from ``start`` looking for :data:`BASELINE_FILENAME`.
+
+    Args:
+        start: a linted file or directory; the search begins at it (or
+            its parent for files) and ascends to the filesystem root.
+
+    Returns:
+        The first baseline file found, or None.
+    """
+    here = start.resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in [here, *here.parents]:
+        probe = candidate / BASELINE_FILENAME
+        if probe.is_file():
+            return probe
+    return None
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Partition findings against the baseline.
+
+    Returns:
+        ``(new, accepted, stale)``: findings not in the baseline,
+        findings matched by it, and baseline entries matched by no
+        current finding (informational — possibly covered by a
+        different lint invocation).
+    """
+    root = baseline.root
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    matched: set[str] = set()
+    for f in findings:
+        fp = fingerprint(f, root)
+        if fp in baseline.entries:
+            accepted.append(f)
+            matched.add(fp)
+        else:
+            new.append(f)
+    stale = [e for fp, e in sorted(baseline.entries.items()) if fp not in matched]
+    return new, accepted, stale

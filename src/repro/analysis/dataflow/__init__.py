@@ -1,0 +1,57 @@
+"""Interprocedural dataflow substrate for the flow-aware rule packs.
+
+Layers, bottom up:
+
+* :mod:`.cfg` — per-function control-flow graphs;
+* :mod:`.engine` — a worklist forward-dataflow solver over those CFGs;
+* :mod:`.project` — parsed modules, import tables, function index;
+* :mod:`.callgraph` — provable call edges across the project;
+* :mod:`.shapes` — ``shape: (...)`` docstring tags parsed into
+  machine-checkable contracts.
+
+The rule packs in :mod:`repro.analysis.packs` compose these into
+RPR012 (dtype flow), RPR013/RPR014 (lockset concurrency), and RPR015
+(shape contracts).  Everything here is stdlib-``ast`` only — the
+analyses run in CI without importing the code under analysis.
+"""
+
+from repro.analysis.dataflow.callgraph import CallGraph, CallSite, build_call_graph
+from repro.analysis.dataflow.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow.engine import ForwardAnalysis, run_forward
+from repro.analysis.dataflow.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_name,
+    module_name_for_path,
+)
+from repro.analysis.dataflow.shapes import (
+    ContractParseError,
+    FunctionContracts,
+    ShapeContract,
+    extract_contracts,
+    find_shape_tags,
+    parse_shape_tag,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "CallGraph",
+    "CallSite",
+    "ContractParseError",
+    "ForwardAnalysis",
+    "FunctionContracts",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "ShapeContract",
+    "build_call_graph",
+    "build_cfg",
+    "dotted_name",
+    "extract_contracts",
+    "find_shape_tags",
+    "module_name_for_path",
+    "parse_shape_tag",
+    "run_forward",
+]

@@ -1,0 +1,106 @@
+"""Project call graph: provable call edges between project functions.
+
+Edges are collected from every :class:`ast.Call` whose target resolves
+through the module symbol tables of :class:`~repro.analysis.dataflow.project.Project`
+— plain functions, import aliases, and same-module ``Cls.method``
+references.  Instance-method dispatch and higher-order calls stay
+unresolved and therefore absent; the rule packs built on top only act
+on edges the graph can prove, so absence is always the safe direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.project import FunctionInfo, Project
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge.
+
+    Attributes:
+        caller: qualified name of the calling function, or
+            ``<module>`` pseudo-frame for module-level calls.
+        callee: qualified name of the resolved target.
+        module: dotted name of the module the call appears in.
+        node: the :class:`ast.Call` node.
+    """
+
+    caller: str
+    callee: str
+    module: str
+    node: ast.Call
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges of one project.
+
+    Attributes:
+        edges: caller qualname → set of callee qualnames.
+        sites: every resolved :class:`CallSite`, in file order.
+    """
+
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    sites: list[CallSite] = field(default_factory=list)
+
+    def callers_of(self, qualname: str) -> set[str]:
+        """Qualnames of functions with a proven edge into ``qualname``."""
+        return {c for c, callees in self.edges.items() if qualname in callees}
+
+
+def _walk_calls(body: list[ast.stmt]) -> list[ast.Call]:
+    """Calls in a frame, not descending into nested def/class frames."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = list(reversed(body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+    return calls
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Collect every provable call edge in ``project``.
+
+    Returns:
+        The populated :class:`CallGraph`; functions without resolved
+        outgoing calls simply have no entry in ``edges``.
+    """
+    graph = CallGraph()
+    for info in project.modules.values():
+        frames: list[tuple[str, list[ast.stmt]]] = [(f"{info.name}.<module>", info.tree.body)]
+        for fn in info.functions.values():
+            frames.append((fn.qualname, fn.node.body))
+        seen_in_functions: set[int] = set()
+        for qual, body in frames[1:]:
+            for call in _walk_calls(body):
+                seen_in_functions.add(id(call))
+                callee = project.resolve_function(info, call.func)
+                if callee is None:
+                    continue
+                _add(graph, qual, callee, info.name, call)
+        for call in _walk_calls(frames[0][1]):
+            if id(call) in seen_in_functions:
+                continue
+            callee = project.resolve_function(info, call.func)
+            if callee is None:
+                continue
+            _add(graph, frames[0][0], callee, info.name, call)
+    return graph
+
+
+def _add(
+    graph: CallGraph, caller: str, callee: FunctionInfo, module: str, node: ast.Call
+) -> None:
+    graph.edges.setdefault(caller, set()).add(callee.qualname)
+    graph.sites.append(
+        CallSite(caller=caller, callee=callee.qualname, module=module, node=node)
+    )

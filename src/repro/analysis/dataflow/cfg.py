@@ -1,0 +1,237 @@
+"""Per-function control-flow graphs over the stdlib :mod:`ast`.
+
+The linter's flow-sensitive rule packs (dtype flow, shape contracts)
+need to know *in what order* statements can execute, not just that
+they exist: a ``float32`` cast inside an ``if`` branch must survive
+the join below the branch, and narrowness introduced inside a loop
+body must reach the loop header again.  :func:`build_cfg` lowers one
+function body into basic blocks with successor edges; the forward
+solver in :mod:`repro.analysis.dataflow.engine` runs a transfer
+function to fixpoint over that graph.
+
+The lowering is deliberately approximate where precision buys the
+rule packs nothing:
+
+* ``with`` bodies are inlined sequentially (a ``with`` never
+  branches); scope-sensitive rules recover with-membership lexically.
+* ``try`` bodies edge into every handler from the block *before* the
+  body as well as after it, over-approximating "an exception may fire
+  anywhere"; ``finally`` bodies run on every path out.
+* ``match`` statements are treated as an if/elif ladder.
+
+Over-approximation is sound for the may-analyses built on top: extra
+edges can only *widen* what the solver believes reachable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with successor edges.
+
+    Attributes:
+        block_id: dense index within the owning :class:`CFG`.
+        stmts: the AST statements executed in order.
+        succs: block ids control may transfer to afterwards.
+    """
+
+    block_id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body.
+
+    Attributes:
+        blocks: block id → :class:`BasicBlock`.
+        entry: id of the entry block.
+        exit: id of the synthetic exit block (always empty).
+    """
+
+    blocks: dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def preds(self) -> dict[int, list[int]]:
+        """Predecessor map (inverse of the successor edges)."""
+        inv: dict[int, list[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succs:
+                inv[succ].append(block.block_id)
+        return inv
+
+
+class _Builder:
+    """Single-use CFG builder for one statement list."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, BasicBlock] = {}
+        self.exit_id = self._new_block()
+        # (break targets, continue targets) stacks for loop lowering.
+        self._break_stack: list[int] = []
+        self._continue_stack: list[int] = []
+
+    def _new_block(self) -> int:
+        bid = len(self.blocks)
+        self.blocks[bid] = BasicBlock(block_id=bid)
+        return bid
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+
+    def _has_preds(self, bid: int) -> bool:
+        return any(bid in block.succs for block in self.blocks.values())
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        entry = self._new_block()
+        end = self._stmts(body, entry)
+        if end is not None:
+            self._edge(end, self.exit_id)
+        return CFG(blocks=self.blocks, entry=entry, exit=self.exit_id)
+
+    def _stmts(self, body: list[ast.stmt], current: int | None) -> int | None:
+        """Lower a statement list; returns the open block or None if all
+        paths left (return/raise/break/continue)."""
+        for stmt in body:
+            if current is None:
+                # Dead code after a jump still gets a block so rules can
+                # anchor findings there, but it has no inbound edges.
+                current = self._new_block()
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].stmts.append(stmt)
+            return self._stmts(stmt.body, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].stmts.append(stmt)
+            self._edge(current, self.exit_id)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].stmts.append(stmt)
+            if self._break_stack:
+                self._edge(current, self._break_stack[-1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].stmts.append(stmt)
+            if self._continue_stack:
+                self._edge(current, self._continue_stack[-1])
+            return None
+        self.blocks[current].stmts.append(stmt)
+        return current
+
+    def _if(self, stmt: ast.If, current: int) -> int | None:
+        self.blocks[current].stmts.append(stmt)
+        join = self._new_block()
+        then_entry = self._new_block()
+        self._edge(current, then_entry)
+        then_end = self._stmts(stmt.body, then_entry)
+        if then_end is not None:
+            self._edge(then_end, join)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                self._edge(else_end, join)
+        else:
+            self._edge(current, join)
+        if not self._has_preds(join):
+            return None
+        return join
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor, current: int) -> int:
+        header = self._new_block()
+        self._edge(current, header)
+        self.blocks[header].stmts.append(stmt)
+        after = self._new_block()
+        body_entry = self._new_block()
+        self._edge(header, body_entry)
+        self._edge(header, after)  # zero-iteration / loop-done path
+        self._break_stack.append(after)
+        self._continue_stack.append(header)
+        body_end = self._stmts(stmt.body, body_entry)
+        self._continue_stack.pop()
+        self._break_stack.pop()
+        if body_end is not None:
+            self._edge(body_end, header)  # back edge
+        if stmt.orelse:
+            # `else` runs on normal loop exit; approximate by routing it
+            # between the header and `after`.
+            else_entry = self._new_block()
+            self._edge(header, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                self._edge(else_end, after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> int | None:
+        join = self._new_block()
+        body_end = self._stmts(stmt.body, current)
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            h_entry = self._new_block()
+            handler_entries.append(h_entry)
+            # The exception may fire before any body statement ran or
+            # after all of them: edge from the pre-body block and from
+            # the body end when it stayed open.
+            self._edge(current, h_entry)
+            if body_end is not None:
+                self._edge(body_end, h_entry)
+            h_end = self._stmts(handler.body, h_entry)
+            if h_end is not None:
+                self._edge(h_end, join)
+        if stmt.orelse and body_end is not None:
+            body_end = self._stmts(stmt.orelse, body_end)
+        if body_end is not None:
+            self._edge(body_end, join)
+        open_join = self._has_preds(join)
+        if stmt.finalbody:
+            fin_end = self._stmts(stmt.finalbody, join)
+            return fin_end if open_join or fin_end is not None else None
+        return join if open_join else None
+
+    def _match(self, stmt: ast.Match, current: int) -> int | None:
+        self.blocks[current].stmts.append(stmt)
+        join = self._new_block()
+        self._edge(current, join)  # no case may match
+        for case in stmt.cases:
+            c_entry = self._new_block()
+            self._edge(current, c_entry)
+            c_end = self._stmts(case.body, c_entry)
+            if c_end is not None:
+                self._edge(c_end, join)
+        return join
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function definition into a :class:`CFG`.
+
+    Args:
+        fn: the function AST node (its ``body`` is lowered; nested
+            function and class definitions are treated as opaque
+            single statements, not descended into).
+
+    Returns:
+        The control-flow graph; ``entry`` starts the body and every
+        leaving path reaches ``exit``.
+    """
+    return _Builder().build(fn.body)

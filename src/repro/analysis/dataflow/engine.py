@@ -1,0 +1,117 @@
+"""A small forward-dataflow framework over the CFGs of :mod:`.cfg`.
+
+Rule packs subclass :class:`ForwardAnalysis` with a lattice of their
+choosing (states are plain dicts mapping variable names to lattice
+values) and a per-statement transfer function; :func:`run_forward`
+iterates a worklist to fixpoint and returns the state observed *on
+entry to* every statement.
+
+The framework requires the lattice to have finite height along every
+variable (the packs here use two- and three-point lattices), which
+with monotone transfer functions guarantees termination across the
+back edges the CFG builder emits for loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from repro.analysis.dataflow.cfg import CFG
+
+__all__ = ["ForwardAnalysis", "run_forward"]
+
+State = dict[str, object]
+
+
+class ForwardAnalysis:
+    """A forward may-analysis: lattice + transfer function.
+
+    Subclasses override the three methods; ``join`` must be
+    commutative/associative and ``transfer`` monotone for the solver
+    to terminate.
+    """
+
+    def initial(self) -> State:
+        """State on entry to the function (usually empty: all clean)."""
+        return {}
+
+    def join(self, a: State, b: State) -> State:
+        """Merge two predecessor states at a control-flow join.
+
+        The default is a union keeping, per variable, the higher value
+        under :meth:`lub`.
+        """
+        out = dict(a)
+        for name, value in b.items():
+            out[name] = self.lub(out[name], value) if name in out else value
+        return out
+
+    def lub(self, a: object, b: object) -> object:
+        """Least upper bound of two lattice values (default: max)."""
+        return max(a, b)  # type: ignore[type-var]
+
+    def transfer(self, stmt: ast.stmt, state: State) -> State:
+        """Return the state after executing ``stmt`` from ``state``."""
+        raise NotImplementedError
+
+
+def run_forward(
+    cfg: CFG, analysis: ForwardAnalysis
+) -> Mapping[int, list[State]]:
+    """Solve ``analysis`` over ``cfg`` to fixpoint.
+
+    Args:
+        cfg: the function's control-flow graph.
+        analysis: lattice + transfer function.
+
+    Returns:
+        Mapping from block id to the list of states observed on entry
+        to each statement of that block (one entry per statement, in
+        order).  Callers re-run their transfer logic over these entry
+        states to emit findings flow-sensitively.
+    """
+    preds = cfg.preds()
+    block_in: dict[int, State] = {bid: analysis.initial() for bid in cfg.blocks}
+    block_out: dict[int, State] = {}
+
+    # Seed every block's out-state so joins over not-yet-visited
+    # predecessors behave like bottom.
+    for bid, block in cfg.blocks.items():
+        state = dict(block_in[bid])
+        for stmt in block.stmts:
+            state = analysis.transfer(stmt, state)
+        block_out[bid] = state
+
+    worklist = list(cfg.blocks)
+    iterations = 0
+    limit = max(64, 16 * len(cfg.blocks) * (1 + len(cfg.blocks)))
+    while worklist:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - safety valve
+            break
+        bid = worklist.pop(0)
+        incoming = analysis.initial()
+        for p in preds.get(bid, []):
+            incoming = analysis.join(incoming, block_out[p])
+        if bid != cfg.entry and incoming == block_in[bid] and bid in block_out:
+            continue
+        block_in[bid] = incoming
+        state = dict(incoming)
+        for stmt in cfg.blocks[bid].stmts:
+            state = analysis.transfer(stmt, state)
+        if state != block_out[bid]:
+            block_out[bid] = state
+            for succ in cfg.blocks[bid].succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+
+    per_stmt: dict[int, list[State]] = {}
+    for bid, block in cfg.blocks.items():
+        states: list[State] = []
+        state = dict(block_in[bid])
+        for stmt in block.stmts:
+            states.append(dict(state))
+            state = analysis.transfer(stmt, state)
+        per_stmt[bid] = states
+    return per_stmt

@@ -1,0 +1,215 @@
+"""Project model: parsed modules, import tables, and a function index.
+
+The flow-aware rule packs are *interprocedural*: a float32 produced by
+``serve_f32()`` must be traced into every caller, and a spectrum
+produced in :mod:`repro.dsp.music` must match the contract of the
+consumer it is handed to in :mod:`repro.dsp.frames`.  That requires a
+whole-project view, not the single-file :class:`~repro.analysis.rules.FileContext`.
+
+:class:`Project` holds every linted module parsed once, a per-module
+symbol table mapping local names to fully dotted targets (following
+``import``/``from ... import`` aliases, including relative imports),
+and an index of every function/method definition by qualified name.
+Resolution is deliberately best-effort: a call the table cannot
+resolve is treated as outside the project and assumed clean — the
+packs only ever *add* findings for edges they can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Project", "dotted_name", "module_name_for_path"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Dotted name of a Name/Attribute chain (``np.random.seed``), or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module name for a source path.
+
+    ``src/repro/dsp/music.py`` → ``repro.dsp.music``; paths outside a
+    recognisable package root fall back to the file stem, which keeps
+    single-file fixtures addressable.
+    """
+    norm = re.split(r"[\\/]", path)
+    stem = norm[-1][:-3] if norm[-1].endswith(".py") else norm[-1]
+    parts = norm[:-1]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # keep trailing package-ish dirs only when an anchor like
+        # `repro`/`tests` is present; otherwise the stem alone.
+        for anchor in ("repro", "tests"):
+            if anchor in parts:
+                parts = parts[parts.index(anchor) :]
+                break
+        else:
+            parts = []
+    if stem == "__init__":
+        return ".".join(parts) if parts else "__init__"
+    return ".".join(parts + [stem]) if parts else stem
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project.
+
+    Attributes:
+        qualname: fully qualified name
+            (``repro.dsp.music.steering_matrix`` or
+            ``repro.serving.fleet.FleetServer.tick``).
+        module: dotted name of the defining module.
+        class_name: owning class for methods, else None.
+        node: the definition's AST node.
+    """
+
+    qualname: str
+    module: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its symbol table.
+
+    Attributes:
+        name: dotted module name.
+        path: source path (as given to the linter).
+        source: raw source text.
+        tree: the parsed AST.
+        imports: local name → fully dotted imported target.
+        functions: local qualname (``f`` / ``Cls.m``) → info.
+    """
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def resolve(self, expr: ast.AST) -> str | None:
+        """Resolve a call-target expression to a fully dotted name.
+
+        Follows the module's import aliases and local definitions;
+        returns None when the head name is unknown (builtins, call
+        results, subscripts …).
+        """
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.imports:
+            base = self.imports[head]
+            return f"{base}.{rest}" if rest else base
+        if dotted in self.functions:
+            return f"{self.name}.{dotted}"
+        return None
+
+
+def _import_table(tree: ast.Module, module_name: str) -> dict[str, str]:
+    package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            if node.level:
+                base_parts = module_name.split(".")
+                # one level strips the module itself, further levels
+                # strip enclosing packages.
+                base_parts = base_parts[: len(base_parts) - node.level]
+                prefix = ".".join(base_parts)
+                mod = f"{prefix}.{node.module}" if node.module else prefix
+            else:
+                mod = node.module or package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{mod}.{alias.name}"
+    return table
+
+
+def _function_index(info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{info.name}.{node.name}"
+            info.functions[node.name] = FunctionInfo(
+                qualname=qual, module=info.name, class_name=None, node=node
+            )
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local = f"{node.name}.{item.name}"
+                    info.functions[local] = FunctionInfo(
+                        qualname=f"{info.name}.{local}",
+                        module=info.name,
+                        class_name=node.name,
+                        node=item,
+                    )
+
+
+class Project:
+    """Every linted module, indexed for interprocedural analysis.
+
+    Attributes:
+        modules: dotted module name → :class:`ModuleInfo`.
+        functions: fully qualified name → :class:`FunctionInfo`.
+    """
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        for info in modules.values():
+            for fn in info.functions.values():
+                self.functions[fn.qualname] = fn
+
+    @classmethod
+    def from_sources(cls, units: Iterable[tuple[str, str, ast.Module]]) -> "Project":
+        """Build a project from already-parsed ``(path, source, tree)`` units."""
+        modules: dict[str, ModuleInfo] = {}
+        for path, source, tree in units:
+            name = module_name_for_path(path)
+            if name in modules:
+                # Same dotted name twice (e.g. two fixture files named
+                # alike): suffix to keep both addressable.
+                name = f"{name}@{len(modules)}"
+            info = ModuleInfo(name=name, path=path, source=source, tree=tree)
+            info.imports = _import_table(tree, name)
+            _function_index(info)
+            modules[name] = info
+        return cls(modules)
+
+    def resolve_function(
+        self, module: ModuleInfo, expr: ast.AST
+    ) -> FunctionInfo | None:
+        """Resolve a call target to a project function, if it is one.
+
+        Handles plain functions (``f()``, ``music.f()`` through an
+        import alias) and unqualified method references inside the
+        defining module.  Method calls through instances are out of
+        scope — resolution stays a provable-edges-only approximation.
+        """
+        target = module.resolve(expr)
+        if target is None:
+            return None
+        return self.functions.get(target)

@@ -1,0 +1,234 @@
+"""Machine-readable shape contracts parsed from docstring tags.
+
+RPR008 has long *mandated* ``shape: (...)`` tags on spectrum
+producers; this module makes those tags mean something.  A tag like
+``shape: ``(F, n_tags, 180)``  `` parses into a :class:`ShapeContract`
+whose dims are literal ints (checked exactly), symbolic names
+(wildcards that must stay self-consistent within one match), or a
+leading/inline ``...`` ellipsis (any number of extra axes).  The
+static checker (RPR015) compares producer and consumer contracts at
+call sites; the runtime sanitizer
+(:func:`repro.analysis.sanitize.anomaly_detection` with
+``check_contracts=True``) asserts real output shapes against the same
+parsed contracts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "ContractParseError",
+    "FunctionContracts",
+    "ShapeContract",
+    "extract_contracts",
+    "find_shape_tags",
+    "parse_shape_tag",
+]
+
+ELLIPSIS_DIM = "..."
+"""Sentinel dim standing for "any number of leading axes"."""
+
+_TAG_RE = re.compile(r"shape:\s*`{0,2}\(([^()]*)\)")
+_SYMBOL_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_DIM_EXPR_RE = re.compile(r"[A-Za-z0-9_+\-* ]+")
+
+
+class ContractParseError(ValueError):
+    """A ``shape: (...)`` tag that cannot be parsed into dims."""
+
+
+@dataclass(frozen=True)
+class ShapeContract:
+    """One parsed shape tag.
+
+    Attributes:
+        dims: tuple of ``int`` (exact), ``str`` symbol (wildcard,
+            consistent within a match), or :data:`ELLIPSIS_DIM`.
+        raw: the tag text as written.
+    """
+
+    dims: tuple[object, ...]
+    raw: str
+
+    @property
+    def rank(self) -> int:
+        """Number of explicit (non-ellipsis) dims."""
+        return sum(1 for d in self.dims if d != ELLIPSIS_DIM)
+
+    @property
+    def has_ellipsis(self) -> bool:
+        """True when the contract admits extra leading axes."""
+        return any(d == ELLIPSIS_DIM for d in self.dims)
+
+    def matches(self, shape: tuple[int, ...]) -> str | None:
+        """Check a concrete shape; returns an error detail or None.
+
+        Symbolic dims bind on first use and must stay consistent:
+        ``(N, N)`` rejects ``(3, 4)``.
+        """
+        explicit = [d for d in self.dims if d != ELLIPSIS_DIM]
+        if self.has_ellipsis:
+            if len(shape) < len(explicit):
+                return (
+                    f"rank {len(shape)} is below the {len(explicit)} "
+                    f"explicit dims of shape: ({self.raw})"
+                )
+            tail = shape[len(shape) - len(explicit) :]
+        else:
+            if len(shape) != len(explicit):
+                return (
+                    f"rank {len(shape)} does not match the rank-"
+                    f"{len(explicit)} contract shape: ({self.raw})"
+                )
+            tail = shape
+        bindings: dict[str, int] = {}
+        for want, got in zip(explicit, tail):
+            if isinstance(want, int):
+                if got != want:
+                    return (
+                        f"dim {got} conflicts with literal {want} in "
+                        f"shape: ({self.raw})"
+                    )
+            elif isinstance(want, str) and _SYMBOL_RE.fullmatch(want):
+                if want in bindings and bindings[want] != got:
+                    return (
+                        f"symbol {want} bound to both {bindings[want]} and "
+                        f"{got} in shape: ({self.raw})"
+                    )
+                bindings[want] = got
+        return None
+
+    def conflict_with(self, other: "ShapeContract") -> str | None:
+        """Static producer/consumer comparison; error detail or None.
+
+        Ranks must agree unless either side has an ellipsis, in which
+        case only the overlapping trailing dims are compared.  Literal
+        ints must match position-for-position; symbols are wildcards.
+        """
+        a = [d for d in self.dims if d != ELLIPSIS_DIM]
+        b = [d for d in other.dims if d != ELLIPSIS_DIM]
+        if not self.has_ellipsis and not other.has_ellipsis and len(a) != len(b):
+            return (
+                f"rank {len(a)} shape: ({self.raw}) vs rank {len(b)} "
+                f"shape: ({other.raw})"
+            )
+        for want, got in zip(reversed(a), reversed(b)):
+            if isinstance(want, int) and isinstance(got, int) and want != got:
+                return (
+                    f"dim {want} in shape: ({self.raw}) vs dim {got} in "
+                    f"shape: ({other.raw})"
+                )
+        return None
+
+
+@dataclass(frozen=True)
+class FunctionContracts:
+    """Shape tags extracted from one docstring.
+
+    Attributes:
+        returns: contracts found in the Returns-ish text (a function
+            may document several, e.g. one per output channel).
+        args: parameter name → contract from the Args section.
+    """
+
+    returns: tuple[ShapeContract, ...]
+    args: dict[str, ShapeContract]
+
+    @property
+    def empty(self) -> bool:
+        """True when the docstring carries no shape tags at all."""
+        return not self.returns and not self.args
+
+
+def find_shape_tags(text: str) -> list[str]:
+    """Raw inner texts of every ``shape: (...)`` tag in ``text``."""
+    return [m.group(1) for m in _TAG_RE.finditer(text)]
+
+
+def parse_shape_tag(inner: str) -> ShapeContract:
+    """Parse the inner text of one tag into a :class:`ShapeContract`.
+
+    Args:
+        inner: the text between the tag's parentheses, e.g.
+            ``"F, n_tags, 180"`` or ``"..., A"``.
+
+    Returns:
+        The parsed contract.
+
+    Raises:
+        ContractParseError: on empty dims or tokens that are neither
+            ints, symbols, simple dim arithmetic (``2*F``), nor
+            ``...``.
+    """
+    tokens = [t.strip().strip("`").strip() for t in inner.split(",")]
+    # `(N,)` writes a trailing comma: drop one trailing empty token.
+    if tokens and tokens[-1] == "":
+        tokens = tokens[:-1]
+    dims: list[object] = []
+    for tok in tokens:
+        if tok == "":
+            raise ContractParseError(f"empty dim in shape: ({inner})")
+        if tok in ("...", ". . ."):
+            dims.append(ELLIPSIS_DIM)
+            continue
+        if re.fullmatch(r"-?\d+", tok):
+            dims.append(int(tok))
+            continue
+        if _DIM_EXPR_RE.fullmatch(tok):
+            dims.append(tok)
+            continue
+        raise ContractParseError(f"unparseable dim {tok!r} in shape: ({inner})")
+    return ShapeContract(dims=tuple(dims), raw=inner.strip())
+
+
+_ARGS_HEADER_RE = re.compile(r"^\s*(Args|Arguments|Parameters)\s*:\s*$")
+_RETURNS_HEADER_RE = re.compile(r"^\s*(Returns|Yields)\s*:\s*$")
+_SECTION_HEADER_RE = re.compile(r"^\s*[A-Z][A-Za-z ]+\s*:\s*$")
+_PARAM_RE = re.compile(r"^\s*(\*{0,2}[A-Za-z_][A-Za-z0-9_]*)\s*(?:\([^)]*\))?\s*:")
+
+
+def extract_contracts(docstring: str | None) -> FunctionContracts:
+    """Extract every shape tag from a Google-style docstring.
+
+    Tags inside the Args section attach to the parameter whose block
+    they appear in; tags anywhere else count as return contracts
+    (matching how the repo's docstrings phrase "Returns: ... shape:
+    ``(F, n_tags, 180)``").
+
+    Raises:
+        ContractParseError: propagated from :func:`parse_shape_tag`
+            for malformed tags.
+    """
+    if not docstring:
+        return FunctionContracts(returns=(), args={})
+    lines = docstring.splitlines()
+    args: dict[str, ShapeContract] = {}
+    returns: list[ShapeContract] = []
+    section = "free"
+    current_param: str | None = None
+    for line in lines:
+        if _ARGS_HEADER_RE.match(line):
+            section = "args"
+            current_param = None
+            continue
+        if _RETURNS_HEADER_RE.match(line):
+            section = "returns"
+            current_param = None
+            continue
+        if _SECTION_HEADER_RE.match(line):
+            section = "other"
+            current_param = None
+            continue
+        if section == "args":
+            m = _PARAM_RE.match(line)
+            if m:
+                current_param = m.group(1).lstrip("*")
+        for inner in find_shape_tags(line):
+            contract = parse_shape_tag(inner)
+            if section == "args" and current_param is not None:
+                args.setdefault(current_param, contract)
+            else:
+                returns.append(contract)
+    return FunctionContracts(returns=tuple(returns), args=args)

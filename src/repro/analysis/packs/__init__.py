@@ -1,0 +1,22 @@
+"""Flow-aware lint rule packs built on :mod:`repro.analysis.dataflow`.
+
+Importing this package registers the project-scope rules:
+
+* :mod:`.dtypeflow` — RPR012, narrow-float discipline with
+  ``inference_mode()`` scopes;
+* :mod:`.concurrency` — RPR013/RPR014, lockset approximation over the
+  serving/runtime shared state;
+* :mod:`.shapecontract` — RPR015, ``shape: (...)`` docstring contracts
+  checked at call sites.
+"""
+
+from repro.analysis.packs.concurrency import BlockingUnderLockRule, LocksetRule
+from repro.analysis.packs.dtypeflow import DtypeFlowRule
+from repro.analysis.packs.shapecontract import ShapeContractRule
+
+__all__ = [
+    "BlockingUnderLockRule",
+    "DtypeFlowRule",
+    "LocksetRule",
+    "ShapeContractRule",
+]

@@ -1,0 +1,542 @@
+"""RPR013/RPR014: lockset lint for the serving/runtime shared state.
+
+The serving tier (:mod:`repro.serving`), the supervised runtime
+(:mod:`repro.runtime`) and the steering-vector LRU in
+:mod:`repro.dsp.music` all share mutable state across threads and
+processes.  These rules apply the classic *lockset* approximation
+lexically:
+
+* For every class that creates ``threading.Lock/RLock/Condition``
+  attributes, the attributes touched inside any ``with self._lock:``
+  block form the **protected set**.  RPR013 flags writes (assignment,
+  augmented assignment, subscript stores, mutator-method calls) to a
+  protected attribute outside every lock block — except in
+  ``__init__``-like methods, where the object is not yet shared.  It
+  also flags *check-then-act* on a protected mapping (``if k in
+  self._cache: ... self._cache[k] ...``) performed outside the lock,
+  which is racy even when each step is individually atomic.
+* The same analysis runs at module scope for module-global locks
+  guarding module-global caches (the steering LRU pattern).
+* RPR014 flags calls that can block for a long time — ``time.sleep``,
+  ``queue.get/put``, ``Process.join``, ``predict_proba``, ``.wait``,
+  ``.recv``/``.select`` — made while lexically holding a lock.
+  Holding a mutex across a blocking call turns every other consumer of
+  that lock into a convoy and is the textbook serving-latency bug.
+
+Both rules are deliberately *intra*-class and lexical: a write hidden
+behind a helper call is out of scope (documented false negative), and
+code paths that never use a lock at all produce no protected set and
+hence no findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.dataflow.project import ModuleInfo, dotted_name
+from repro.analysis.rules import (
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    register_project_rule,
+)
+
+__all__ = ["BlockingUnderLockRule", "LocksetRule"]
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "appendleft",
+    }
+)
+_INIT_METHODS = frozenset(
+    {
+        "__init__",
+        "__new__",
+        "__post_init__",
+        "__init_subclass__",
+        # Module/class bodies execute at import time, before any other
+        # thread can observe the state — the module analog of __init__.
+        "<module>",
+    }
+)
+
+_PROCESSY_NAME = re.compile(r"(?i)(proc|process|thread|worker)")
+_QUEUEY_NAME = re.compile(r"(?i)(queue|request|response|^q$|_q$)")
+
+_ALWAYS_BLOCKING_ATTRS = frozenset({"wait", "recv", "select", "predict_proba"})
+
+
+def _is_lock_factory(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = dotted_name(value.func)
+    if dotted is None:
+        return False
+    parts = dotted.split(".")
+    return parts[-1] in _LOCK_FACTORIES
+
+
+@dataclass
+class _Access:
+    """One touch of a tracked attribute/global."""
+
+    node: ast.AST
+    name: str
+    is_write: bool
+    under_lock: bool
+    method: str
+
+
+@dataclass
+class _Scope:
+    """Accumulated lockset facts for one class (or the module itself)."""
+
+    label: str
+    lock_names: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+    check_then_act: list[tuple[ast.AST, str, str]] = field(default_factory=list)
+
+    @property
+    def protected(self) -> set[str]:
+        """Attributes ever touched under a lock, minus the locks."""
+        touched = {a.name for a in self.accesses if a.under_lock}
+        return touched - self.lock_names
+
+
+class _ScopeCollector(ast.NodeVisitor):
+    """Walk one class body (or module body) gathering lockset facts.
+
+    ``attr_of`` maps an expression to the tracked name it denotes:
+    ``self.x`` for class scope, a bare global name for module scope.
+    """
+
+    def __init__(
+        self,
+        scope: _Scope,
+        class_mode: bool,
+        module_globals: frozenset[str] = frozenset(),
+    ) -> None:
+        self.scope = scope
+        self.class_mode = class_mode
+        self.module_globals = module_globals
+        self.lock_depth = 0
+        self.method = "<module>"
+
+    # -- name extraction --------------------------------------------------
+
+    def attr_of(self, node: ast.AST) -> str | None:
+        if self.class_mode:
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return node.attr
+            return None
+        # Module scope: only names actually bound at module level are
+        # shared state; function locals that happen to be touched under
+        # the lock are not.
+        if isinstance(node, ast.Name) and node.id in self.module_globals:
+            return node.id
+        return None
+
+    def _is_lock_expr(self, node: ast.expr) -> bool:
+        name = self.attr_of(node)
+        return name is not None and name in self.scope.lock_names
+
+    # -- structure --------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return  # nested classes get their own collector via _scopes()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_method(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_method(node)
+
+    def _visit_method(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        prev = self.method
+        self.method = node.name
+        for stmt in node.body:
+            self.visit(stmt)
+        self.method = prev
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        holds = any(self._is_lock_expr(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if holds:
+            self.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if holds:
+            self.lock_depth -= 1
+
+    # -- accesses ---------------------------------------------------------
+
+    def _record(self, node: ast.AST, name: str, is_write: bool) -> None:
+        self.scope.accesses.append(
+            _Access(
+                node=node,
+                name=name,
+                is_write=is_write,
+                under_lock=self.lock_depth > 0,
+                method=self.method,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_store_target(target, node)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store_target(node.target, node)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_store_target(node.target, node)
+            self.visit(node.value)
+
+    def _record_store_target(self, target: ast.expr, stmt: ast.stmt) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store_target(elt, stmt)
+            return
+        if isinstance(target, ast.Subscript):
+            name = self.attr_of(target.value)
+            if name is not None:
+                self._record(stmt, name, is_write=True)
+            self.visit(target.slice)
+            return
+        name = self.attr_of(target)
+        if name is not None:
+            self._record(stmt, name, is_write=True)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            name = self.attr_of(func.value)
+            if name is not None:
+                self._record(node, name, is_write=True)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        name = self.attr_of(node)
+        if name is not None and isinstance(node.ctx, ast.Load):
+            self._record(node, name, is_write=False)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if not self.class_mode and isinstance(node.ctx, ast.Load):
+            name = self.attr_of(node)
+            if name is not None:
+                self._record(node, name, is_write=False)
+
+    # -- check-then-act ---------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        if self.lock_depth == 0:
+            checked = self._checked_names(node.test)
+            if checked:
+                written = self._written_names(node.body)
+                for name in sorted(checked & written):
+                    self.scope.check_then_act.append((node, name, self.method))
+        self.generic_visit(node)
+
+    def _checked_names(self, test: ast.expr) -> set[str]:
+        """Tracked names whose membership/content the test inspects."""
+        names: set[str] = set()
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in sub.ops
+            ):
+                for operand in sub.comparators:
+                    name = self.attr_of(operand)
+                    if name is not None:
+                        names.add(name)
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "get"
+            ):
+                name = self.attr_of(sub.func.value)
+                if name is not None:
+                    names.add(name)
+        return names
+
+    def _written_names(self, body: list[ast.stmt]) -> set[str]:
+        names: set[str] = set()
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, ast.Subscript):
+                            name = self.attr_of(target.value)
+                        else:
+                            name = self.attr_of(target)
+                        if name is not None:
+                            names.add(name)
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _MUTATORS
+                ):
+                    name = self.attr_of(sub.func.value)
+                    if name is not None:
+                        names.add(name)
+        return names
+
+
+def _class_scope(node: ast.ClassDef) -> _Scope:
+    scope = _Scope(label=node.name)
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Assign)
+            and _is_lock_factory(sub.value)
+        ):
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    scope.lock_names.add(target.attr)
+    if not scope.lock_names:
+        return scope
+    collector = _ScopeCollector(scope, class_mode=True)
+    for stmt in node.body:
+        collector.visit(stmt)
+    return scope
+
+
+def _module_globals(tree: ast.Module) -> frozenset[str]:
+    """Names bound by module-level statements (the shared namespace)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+    return frozenset(names)
+
+
+def _module_scope(info: ModuleInfo) -> _Scope:
+    scope = _Scope(label="<module>")
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.Assign) and _is_lock_factory(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    scope.lock_names.add(target.id)
+    if not scope.lock_names:
+        return scope
+    collector = _ScopeCollector(
+        scope, class_mode=False, module_globals=_module_globals(info.tree)
+    )
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            continue  # classes get their own lockset scope
+        collector.visit(stmt)
+    return scope
+
+
+def _scopes(info: ModuleInfo) -> Iterator[_Scope]:
+    yield _module_scope(info)
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.ClassDef):
+            yield _class_scope(node)
+
+
+@register_project_rule
+class LocksetRule(ProjectRule):
+    """RPR013: shared mutable state written outside its owning lock.
+
+    A class (or module) that guards some attributes with a lock has
+    declared a protection discipline; every unlocked write to those
+    attributes — and every unlocked check-then-act sequence on them —
+    is a race window.  Constructor-like methods are exempt because the
+    object is not yet published.
+    """
+
+    code = "RPR013"
+    name = "lockset"
+    description = (
+        "write or check-then-act on lock-protected shared state performed "
+        "without holding the owning lock"
+    )
+    hint = (
+        "take the owning lock (`with self._lock:` / the module lock) around "
+        "the write, or make the whole check-then-act sequence atomic"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        """Yield unlocked-write and check-then-act findings."""
+        for info in ctx.project.modules.values():
+            for scope in _scopes(info):
+                protected = scope.protected
+                if not protected:
+                    continue
+                for access in scope.accesses:
+                    if not access.is_write or access.under_lock:
+                        continue
+                    if access.name not in protected:
+                        continue
+                    if access.method in _INIT_METHODS:
+                        continue
+                    where = (
+                        f"{scope.label}.{access.method}"
+                        if scope.label != "<module>"
+                        else access.method
+                    )
+                    yield self.finding_at(
+                        info.path,
+                        access.node,
+                        f"write to lock-protected {access.name!r} in {where} "
+                        "without holding the owning lock",
+                    )
+                for node, name, method in scope.check_then_act:
+                    if name not in protected or method in _INIT_METHODS:
+                        continue
+                    where = (
+                        f"{scope.label}.{method}"
+                        if scope.label != "<module>"
+                        else method
+                    )
+                    yield self.finding_at(
+                        info.path,
+                        node,
+                        f"non-atomic check-then-act on lock-protected {name!r} "
+                        f"in {where}: the state can change between the test "
+                        "and the write",
+                    )
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why this call is considered blocking, or None."""
+    dotted = dotted_name(call.func)
+    if dotted is not None and dotted.split(".")[:1] == ["time"] and dotted.endswith(
+        ".sleep"
+    ):
+        return "time.sleep() sleeps while holding the lock"
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    attr = call.func.attr
+    base = dotted_name(call.func.value) or ""
+    base_last = base.split(".")[-1]
+    if attr in _ALWAYS_BLOCKING_ATTRS:
+        return f".{attr}() can block indefinitely"
+    if attr == "join" and _PROCESSY_NAME.search(base_last):
+        return f"{base_last}.join() waits for a process/thread to exit"
+    if attr in ("get", "put") and _QUEUEY_NAME.search(base_last):
+        return f"{base_last}.{attr}() blocks on queue traffic"
+    return None
+
+
+@register_project_rule
+class BlockingUnderLockRule(ProjectRule):
+    """RPR014: blocking call made while lexically holding a lock.
+
+    Sleeping, joining a process, or waiting on a queue while holding a
+    mutex serialises every other thread that needs the lock behind an
+    unbounded wait — the canonical convoy.  The fix is to move the
+    blocking call outside the critical section and re-validate state
+    after reacquiring.
+    """
+
+    code = "RPR014"
+    name = "blocking-under-lock"
+    description = (
+        "blocking call (sleep, queue get/put, process join, predict_proba, "
+        "wait/recv) made while holding a lock"
+    )
+    hint = (
+        "shrink the critical section: copy what you need under the lock, "
+        "release it, then block"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        """Yield blocking-call-under-lock findings."""
+        for info in ctx.project.modules.values():
+            lock_names = self._all_lock_names(info)
+            if not lock_names:
+                continue
+            yield from self._scan(info, info.tree, lock_names)
+
+    def _all_lock_names(self, info: ModuleInfo) -> set[str]:
+        """Every self-attr or global name bound to a lock factory."""
+        names: set[str] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, ast.Attribute):
+                        names.add(target.attr)
+        return names
+
+    def _scan(
+        self, info: ModuleInfo, tree: ast.AST, lock_names: set[str]
+    ) -> Iterator[Finding]:
+        """Depth-first walk tracking lexical with-lock nesting."""
+        stack: list[tuple[ast.AST, int]] = [(tree, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                holds = any(
+                    self._names_lock(item.context_expr, lock_names)
+                    for item in node.items
+                )
+                inner = depth + (1 if holds else 0)
+                for child in node.body:
+                    stack.append((child, inner))
+                for item in node.items:
+                    stack.append((item.context_expr, depth))
+                continue
+            if depth > 0 and isinstance(node, ast.Call):
+                reason = _blocking_reason(node)
+                if reason is not None:
+                    yield self.finding_at(
+                        info.path,
+                        node,
+                        f"blocking call under lock: {reason}",
+                    )
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, depth))
+
+    def _names_lock(self, expr: ast.expr, lock_names: set[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in lock_names
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in lock_names
+        return False

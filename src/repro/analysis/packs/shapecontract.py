@@ -1,0 +1,228 @@
+"""RPR015: ``shape: (...)`` docstring tags checked as real contracts.
+
+RPR008 forces spectrum producers to *write* shape tags; this rule
+makes the tags load-bearing.  It parses every tag in the project into
+a :class:`repro.analysis.dataflow.shapes.ShapeContract` and reports:
+
+* **malformed tags** — a tag that RPR008 accepts lexically but that
+  does not parse into dims is documentation pretending to be a
+  contract;
+* **producer/consumer conflicts** — a call site where a value whose
+  producer documents ``shape: (F, n_tags, 180)`` flows into a
+  parameter documented with an incompatible shape.  Both the direct
+  nesting ``g(f(...))`` and the one-hop assignment ``x = f(...);
+  g(x)`` are checked, the latter via the forward-dataflow engine so
+  rebinding ``x`` on any path clears the tracked contract.
+
+Symbolic dims are wildcards (``(F, N)`` never conflicts with
+``(W, N)``); only literal-int and rank mismatches are reported, so the
+rule stays silent unless the docs are provably inconsistent.  The
+runtime twin of this rule is ``anomaly_detection(check_contracts=True)``,
+which asserts concrete output shapes against the same parsed
+contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow.cfg import build_cfg
+from repro.analysis.dataflow.engine import ForwardAnalysis, run_forward
+from repro.analysis.dataflow.project import FunctionInfo, ModuleInfo, Project
+from repro.analysis.dataflow.shapes import (
+    ContractParseError,
+    FunctionContracts,
+    ShapeContract,
+    extract_contracts,
+)
+from repro.analysis.rules import (
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    register_project_rule,
+)
+
+__all__ = ["ShapeContractRule"]
+
+_UNKNOWN: tuple[ShapeContract, ...] = ()
+"""Lattice top: the variable's producer contract is not tracked."""
+
+
+def _param_names(fn: FunctionInfo) -> list[str]:
+    """Positional parameter names, with ``self``/``cls`` dropped."""
+    a = fn.node.args
+    names = [p.arg for p in a.posonlyargs + a.args]
+    if fn.class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+class _ContractFlow(ForwardAnalysis):
+    """Track which variables hold values from contract-documented calls."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        project: Project,
+        contracts: dict[str, FunctionContracts],
+    ) -> None:
+        self.module = module
+        self.project = project
+        self.contracts = contracts
+
+    def lub(self, a: object, b: object) -> object:
+        return a if a == b else _UNKNOWN
+
+    def producer_returns(self, expr: ast.expr) -> tuple[ShapeContract, ...]:
+        """Return contracts of the producer behind ``expr``, if any."""
+        if not isinstance(expr, ast.Call):
+            return _UNKNOWN
+        fn = self.project.resolve_function(self.module, expr.func)
+        if fn is None:
+            return _UNKNOWN
+        found = self.contracts.get(fn.qualname)
+        return found.returns if found is not None else _UNKNOWN
+
+    def transfer(self, stmt: ast.stmt, state: dict[str, object]) -> dict[str, object]:
+        state = dict(state)
+        if isinstance(stmt, ast.Assign):
+            value = self.producer_returns(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state[target.id] = value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            state[stmt.target.id] = (
+                self.producer_returns(stmt.value) if stmt.value else _UNKNOWN
+            )
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            state[stmt.target.id] = _UNKNOWN
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(stmt.target):
+                if isinstance(sub, ast.Name):
+                    state[sub.id] = _UNKNOWN
+        return state
+
+
+@register_project_rule
+class ShapeContractRule(ProjectRule):
+    """RPR015: parse every shape tag; flag conflicts between them.
+
+    See the module docstring for the producer/consumer semantics.  A
+    malformed tag is itself a finding — an unparseable contract
+    protects nothing.
+    """
+
+    code = "RPR015"
+    name = "shape-contract"
+    description = (
+        "shape: (...) docstring tags must parse, and producer/consumer "
+        "contracts must agree at call sites (rank and literal dims)"
+    )
+    hint = (
+        "fix the tag to `shape: (dim, ...)` with int/symbol dims, or "
+        "reconcile the producer and consumer docstrings"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        """Yield malformed-tag and contract-conflict findings."""
+        project = ctx.project
+        contracts: dict[str, FunctionContracts] = {}
+        for info in project.modules.values():
+            for fn in info.functions.values():
+                doc = ast.get_docstring(fn.node, clean=True)
+                try:
+                    found = extract_contracts(doc)
+                except ContractParseError as exc:
+                    yield self.finding_at(
+                        info.path,
+                        fn.node,
+                        f"malformed shape tag in {fn.qualname}() docstring: {exc}",
+                    )
+                    continue
+                if not found.empty:
+                    contracts[fn.qualname] = found
+        for info in project.modules.values():
+            yield from self._check_module(info, project, contracts)
+
+    # -- call-site checking ----------------------------------------------
+
+    def _check_module(
+        self,
+        info: ModuleInfo,
+        project: Project,
+        contracts: dict[str, FunctionContracts],
+    ) -> Iterator[Finding]:
+        flow = _ContractFlow(info, project, contracts)
+        for fn in info.functions.values():
+            cfg = build_cfg(fn.node)
+            per_stmt = run_forward(cfg, flow)
+            for bid, block in cfg.blocks.items():
+                for stmt, entry in zip(block.stmts, per_stmt[bid]):
+                    yield from self._check_stmt(info, flow, contracts, stmt, entry)
+
+    def _check_stmt(
+        self,
+        info: ModuleInfo,
+        flow: _ContractFlow,
+        contracts: dict[str, FunctionContracts],
+        stmt: ast.stmt,
+        entry: dict[str, object],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = flow.project.resolve_function(info, node.func)
+            if callee is None:
+                continue
+            want = contracts.get(callee.qualname)
+            if want is None or not want.args:
+                continue
+            names = _param_names(callee)
+            for index, arg in enumerate(node.args):
+                if index >= len(names):
+                    break
+                yield from self._check_arg(
+                    info, flow, entry, node, callee, want, names[index], arg
+                )
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    yield from self._check_arg(
+                        info, flow, entry, node, callee, want, kw.arg, kw.value
+                    )
+
+    def _check_arg(
+        self,
+        info: ModuleInfo,
+        flow: _ContractFlow,
+        entry: dict[str, object],
+        call: ast.Call,
+        callee: FunctionInfo,
+        want: FunctionContracts,
+        param: str,
+        arg: ast.expr,
+    ) -> Iterator[Finding]:
+        expected = want.args.get(param)
+        if expected is None:
+            return
+        if isinstance(arg, ast.Name):
+            produced = entry.get(arg.id, _UNKNOWN)
+        else:
+            produced = flow.producer_returns(arg)
+        if not produced:
+            return
+        # Conservative: only flag when EVERY documented producer
+        # contract conflicts with the consumer's expectation.
+        details = []
+        for contract in produced:  # type: ignore[union-attr]
+            detail = contract.conflict_with(expected)
+            if detail is None:
+                return
+            details.append(detail)
+        yield self.finding_at(
+            info.path,
+            arg,
+            f"shape contract conflict: argument {param!r} of "
+            f"{callee.qualname}() expects shape: ({expected.raw}) but the "
+            f"producer documents {details[0]}",
+        )

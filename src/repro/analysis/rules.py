@@ -15,14 +15,22 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.analysis.dataflow.callgraph import CallGraph, build_call_graph
+from repro.analysis.dataflow.project import Project
+
 __all__ = [
+    "DEFAULT_DISABLED",
     "FileContext",
     "Finding",
     "LintRule",
+    "PROJECT_RULES",
+    "ProjectContext",
+    "ProjectRule",
     "RULES",
+    "register_project_rule",
     "register_rule",
 ]
 
@@ -96,7 +104,19 @@ class LintRule:
 
 
 RULES: dict[str, LintRule] = {}
-"""Registry mapping rule code to rule instance."""
+"""Registry mapping rule code to rule instance (single-file rules)."""
+
+PROJECT_RULES: dict[str, "ProjectRule"] = {}
+"""Registry of project-wide (flow-aware) rules, keyed by code."""
+
+DEFAULT_DISABLED: frozenset[str] = frozenset({"RPR006"})
+"""Codes registered but left out of the default selection.
+
+RPR006 (token-level narrow-float ban) is superseded by the flow-aware
+RPR012 pack, which admits float32 proven to stay inside an explicit
+``inference_mode()`` scope; the token rule stays selectable with
+``--select RPR006`` for callers who want the stricter blanket ban.
+"""
 
 
 def register_rule(cls: type[LintRule]) -> type[LintRule]:
@@ -107,9 +127,72 @@ def register_rule(cls: type[LintRule]) -> type[LintRule]:
     """
     if not re.fullmatch(r"RPR\d{3}", cls.code):
         raise ValueError(f"rule code must look like RPR001, got {cls.code!r}")
-    if cls.code in RULES:
+    if cls.code in RULES or cls.code in PROJECT_RULES:
         raise ValueError(f"duplicate rule code {cls.code}")
     RULES[cls.code] = cls()
+    return cls
+
+
+@dataclass
+class ProjectContext:
+    """Everything a project rule may inspect: the whole linted tree.
+
+    Attributes:
+        project: parsed modules + symbol tables + function index.
+    """
+
+    project: Project
+    _call_graph: CallGraph | None = field(default=None, repr=False)
+
+    @property
+    def call_graph(self) -> CallGraph:
+        """The project call graph, built once on first use."""
+        if self._call_graph is None:
+            self._call_graph = build_call_graph(self.project)
+        return self._call_graph
+
+
+class ProjectRule(LintRule):
+    """Base class for whole-project (interprocedural) rules.
+
+    Unlike :class:`LintRule`, the single ``check_project`` call sees
+    every linted file at once — call graph included — so rules can
+    follow values across assignments, returns, and call edges.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules never run per-file."""
+        return iter(())
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        """Yield findings across the whole project."""
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``path``."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            hint=self.hint,
+        )
+
+
+def register_project_rule(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a rule to :data:`PROJECT_RULES`.
+
+    Raises:
+        ValueError: on a duplicate or malformed code.
+    """
+    if not re.fullmatch(r"RPR\d{3}", cls.code):
+        raise ValueError(f"rule code must look like RPR001, got {cls.code!r}")
+    if cls.code in RULES or cls.code in PROJECT_RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    PROJECT_RULES[cls.code] = cls()
     return cls
 
 

@@ -35,16 +35,29 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.nn.module import DEFAULT_DTYPE, Module
+from repro.analysis.dataflow.shapes import (
+    ContractParseError,
+    ShapeContract,
+    extract_contracts,
+)
+from repro.nn.module import DEFAULT_DTYPE, INFERENCE_DTYPE, Module, in_inference_mode
 
 __all__ = [
     "AnomalyError",
     "DEFAULT_COMPLEX_DTYPE",
+    "INFERENCE_COMPLEX_DTYPE",
     "anomaly_detection",
 ]
 
 DEFAULT_COMPLEX_DTYPE = np.dtype(np.complex128)
 """Complex companion of :data:`repro.nn.module.DEFAULT_DTYPE`."""
+
+INFERENCE_COMPLEX_DTYPE = np.dtype(np.complex64)  # reprolint: disable=RPR012 -- sanctioned complex companion of INFERENCE_DTYPE, named once here
+"""Complex companion of :data:`repro.nn.module.INFERENCE_DTYPE`.
+
+Accepted by the dtype checks only while :func:`repro.nn.module.inference_mode`
+is active on the calling thread.
+"""
 
 _FORWARD_SHAPE_ATTR = "_sanitizer_forward_shape"
 
@@ -71,6 +84,7 @@ class _Config:
     max_grad_norm: float
     check_dtypes: bool
     check_shapes: bool
+    check_contracts: bool
 
 
 def _check_array(arr: object, stage: str, where: str, cfg: _Config) -> None:
@@ -87,11 +101,17 @@ def _check_array(arr: object, stage: str, where: str, cfg: _Config) -> None:
         )
     if not cfg.check_dtypes:
         return
+    # Inside inference_mode() the sanctioned narrow pair is also legal —
+    # the runtime twin of the RPR012 scope rule.
     if kind == "f" and arr.dtype != DEFAULT_DTYPE:
+        if in_inference_mode() and arr.dtype == INFERENCE_DTYPE:
+            return
         raise AnomalyError(
             stage, "dtype_drift", f"{where} is {arr.dtype}, expected {DEFAULT_DTYPE}"
         )
     if kind == "c" and arr.dtype != DEFAULT_COMPLEX_DTYPE:
+        if in_inference_mode() and arr.dtype == INFERENCE_COMPLEX_DTYPE:
+            return
         raise AnomalyError(
             stage,
             "dtype_drift",
@@ -164,9 +184,43 @@ def _wrap_backward(cls: type[Module], orig: Callable, cfg: _Config) -> Callable:
     return backward
 
 
+def _return_contracts(orig: Callable) -> tuple[ShapeContract, ...]:
+    """Parse the wrapped function's documented return contracts.
+
+    Malformed tags are ignored here — the static checker (RPR015)
+    reports those; the runtime check only asserts tags that parse.
+    """
+    try:
+        return extract_contracts(getattr(orig, "__doc__", None)).returns
+    except ContractParseError:
+        return ()
+
+
+def _check_contract(
+    out: object, stage: str, contracts: tuple[ShapeContract, ...]
+) -> None:
+    """Assert the output shape against the docstring contracts.
+
+    A function may document several return channels; the output passes
+    when *any* contract admits its shape.
+    """
+    arr = out if isinstance(out, np.ndarray) else getattr(out, "spectrum", None)
+    if not isinstance(arr, np.ndarray) or not contracts:
+        return
+    details = []
+    for contract in contracts:
+        detail = contract.matches(arr.shape)
+        if detail is None:
+            return
+        details.append(detail)
+    raise AnomalyError(stage, "contract_violation", details[0])
+
+
 def _wrap_function(
     orig: Callable, stage: str, result_check: Callable, cfg: _Config
 ) -> Callable:
+    contracts = _return_contracts(orig) if cfg.check_contracts else ()
+
     @functools.wraps(orig)
     def wrapper(*args: object, **kwargs: object) -> object:
         for i, arg in enumerate(args):
@@ -175,6 +229,8 @@ def _wrap_function(
             _check_array(value, stage, f"input {key!r}", cfg)
         out = orig(*args, **kwargs)
         result_check(out, stage, cfg)
+        if contracts:
+            _check_contract(out, stage, contracts)
         return out
 
     return wrapper
@@ -278,6 +334,7 @@ def anomaly_detection(
     max_grad_norm: float = 1e6,
     check_dtypes: bool = True,
     check_shapes: bool = True,
+    check_contracts: bool = False,
     wrap_nn: bool = True,
     wrap_dsp: bool = True,
 ) -> Iterator[None]:
@@ -286,8 +343,15 @@ def anomaly_detection(
     Args:
         max_grad_norm: gradient-norm ceiling before an
             ``exploding_gradient`` anomaly is raised.
-        check_dtypes: flag drift from float64/complex128.
+        check_dtypes: flag drift from float64/complex128.  Inside an
+            active :func:`repro.nn.module.inference_mode` scope the
+            sanctioned narrow pair (float32/complex64) is also
+            accepted.
         check_shapes: flag forward/backward shape disagreements.
+        check_contracts: additionally assert wrapped DSP outputs
+            against the ``shape: (...)`` contracts parsed from their
+            own docstrings (the runtime twin of lint rule RPR015).
+            Opt-in because it re-parses docstrings at arm time.
         wrap_nn: instrument ``Module.forward``/``backward`` of every
             imported subclass.
         wrap_dsp: instrument calibration, MUSIC, periodogram, and
@@ -295,7 +359,8 @@ def anomaly_detection(
 
     Raises:
         AnomalyError: (from the wrapped code) at the first stage a
-            numerical anomaly appears.
+            numerical anomaly appears.  Contract violations use
+            ``kind="contract_violation"``.
 
     Nested activations are no-ops: the outermost context owns the
     instrumentation.
@@ -308,6 +373,7 @@ def anomaly_detection(
         max_grad_norm=max_grad_norm,
         check_dtypes=check_dtypes,
         check_shapes=check_shapes,
+        check_contracts=check_contracts,
     )
     undo: list[Callable[[], None]] = []
     _armed = True

@@ -44,6 +44,10 @@ def normalize_pseudospectrum(spectrum: np.ndarray) -> np.ndarray:
     then mapped to ``[0, 1]``.  A stacked input normalises each row
     against its own peak.
 
+    Args:
+        spectrum: pseudospectrum values over the angle grid, single or
+            stacked, shape: ``(..., A)``.
+
     Returns:
         The compressed spectrum, shape: ``(..., A)`` matching the
         input grid.
@@ -55,7 +59,16 @@ def normalize_pseudospectrum(spectrum: np.ndarray) -> np.ndarray:
 
 
 def power_to_db(power: np.ndarray, floor_db: float = -120.0) -> np.ndarray:
-    """Power to decibels with a floor (periodogram frames)."""
+    """Power to decibels with a floor (periodogram frames).
+
+    Args:
+        power: non-negative power densities, single spectrum or any
+            stacking of them, shape: ``(..., N)``.
+        floor_db: lower clamp applied after the log.
+
+    Returns:
+        Decibel values, shape: ``(..., N)`` matching the input.
+    """
     p = np.asarray(power, dtype=np.float64)
     return np.maximum(10.0 * np.log10(np.maximum(p, 1e-30)), floor_db)
 

@@ -5,7 +5,15 @@ from repro.nn.gradcheck import check_module_gradients, numerical_gradient
 from repro.nn.init import glorot_uniform, he_uniform, orthogonal
 from repro.nn.layers import Dense, Dropout, Flatten, ReLU, Tanh
 from repro.nn.losses import log_softmax, mse_loss, softmax, softmax_cross_entropy
-from repro.nn.module import DEFAULT_DTYPE, Module, Parameter, Sequential
+from repro.nn.module import (
+    DEFAULT_DTYPE,
+    INFERENCE_DTYPE,
+    Module,
+    Parameter,
+    Sequential,
+    in_inference_mode,
+    inference_mode,
+)
 from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.nn.recurrent import LSTM, LastStep
 
@@ -18,6 +26,7 @@ __all__ = [
     "Dropout",
     "Flatten",
     "GlobalAveragePool1d",
+    "INFERENCE_DTYPE",
     "LSTM",
     "LastStep",
     "MaxPool1d",
@@ -30,6 +39,8 @@ __all__ = [
     "clip_grad_norm",
     "glorot_uniform",
     "he_uniform",
+    "in_inference_mode",
+    "inference_mode",
     "log_softmax",
     "mse_loss",
     "numerical_gradient",

@@ -10,6 +10,10 @@ into ``Parameter.grad`` until ``zero_grad``.
 
 from __future__ import annotations
 
+import contextvars
+from contextlib import contextmanager
+from typing import Iterator
+
 import numpy as np
 
 DEFAULT_DTYPE = np.dtype(np.float64)
@@ -20,6 +24,50 @@ it by default and the runtime sanitizer
 (:func:`repro.analysis.sanitize.anomaly_detection`) treats any drift
 away from it as an anomaly.
 """
+
+INFERENCE_DTYPE = np.dtype(np.float32)  # reprolint: disable=RPR012 -- the one sanctioned narrow dtype must be named here
+"""The sanctioned narrow dtype for cast-once inference serving.
+
+Training stays float64 end to end; a serve path may cast a trained
+model's activations down to this dtype *inside* an
+:func:`inference_mode` scope.  Both enforcement layers key off that
+scope: the RPR012 dtype-flow lint admits narrow-float values proven to
+stay inside ``with inference_mode():``, and the runtime sanitizer
+accepts this dtype (plus its complex companion) only while the scope
+is active.
+"""
+
+_INFERENCE_DEPTH: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_inference_mode_depth", default=0
+)
+
+
+@contextmanager
+def inference_mode() -> Iterator[None]:
+    """Scope in which float32 inference tensors are sanctioned.
+
+    The float64 discipline (lint rule RPR012, sanitizer dtype checks)
+    applies everywhere *except* inside this context manager: a serve
+    path that casts a trained model down to :data:`INFERENCE_DTYPE`
+    once and runs narrow activations must do every narrow operation
+    within the scope and cast back (or emit non-array decisions)
+    before leaving it.
+
+    The scope is tracked with a :class:`contextvars.ContextVar`, so it
+    is thread- and task-local: arming it on a serving thread never
+    relaxes checks for a concurrently training thread.  Nesting is
+    allowed and counts depth.
+    """
+    token = _INFERENCE_DEPTH.set(_INFERENCE_DEPTH.get() + 1)
+    try:
+        yield
+    finally:
+        _INFERENCE_DEPTH.reset(token)
+
+
+def in_inference_mode() -> bool:
+    """True while the calling thread/task is inside :func:`inference_mode`."""
+    return _INFERENCE_DEPTH.get() > 0
 
 
 class Parameter:

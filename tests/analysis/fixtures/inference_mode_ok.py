@@ -1,0 +1,32 @@
+"""RPR012 true-negative fixture: the sanctioned cast-once serve recipe.
+
+Every narrow-float operation happens inside ``with inference_mode():``
+and the value is widened back to float64 before leaving the scope —
+the linter must report nothing here.
+"""
+
+import numpy as np
+
+from repro.nn import inference_mode
+
+
+def serve(model, feats):
+    """Cast-once float32 inference, widened before the scope exits."""
+    with inference_mode():
+        x = feats.astype(np.float32)
+        y = model(x)
+        out = y.astype(np.float64)
+    return out
+
+
+def narrow_helper(feats):
+    """A sanctioned narrow producer; callers must stay in scope."""
+    with inference_mode():
+        return np.asarray(feats, dtype=np.float32)
+
+
+def chained(model, feats):
+    """Calling the narrow producer inside a scope is fine too."""
+    with inference_mode():
+        x = narrow_helper(feats)
+        return float(model(x).sum())

@@ -1,0 +1,42 @@
+"""RPR013/RPR014 true-positive fixture: every classic lockset bug.
+
+An unlocked write to protected state, an unlocked check-then-act, and
+blocking calls made while holding the lock.
+"""
+
+import threading
+import time
+
+
+class SharedCache:
+    """A cache whose discipline is violated below."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+
+    def put(self, key, value):
+        """The declared discipline: writes hold the lock."""
+        with self._lock:
+            self._store[key] = value
+
+    def evict(self, key):
+        """BUG: unlocked write (line 26)."""
+        self._store.pop(key, None)
+
+    def ensure(self, key):
+        """BUG: unlocked check-then-act (line 30)."""
+        if key not in self._store:
+            self._store[key] = 0
+
+    def drain(self, queue):
+        """BUG: queue.get and sleep while holding the lock (lines 36-37)."""
+        with self._lock:
+            item = queue.get()
+            time.sleep(0.01)
+            self._store["last"] = item
+
+    def shutdown(self, worker_proc):
+        """BUG: process join while holding the lock (line 42)."""
+        with self._lock:
+            worker_proc.join()

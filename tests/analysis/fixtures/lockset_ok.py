@@ -1,0 +1,38 @@
+"""RPR013/RPR014 true-negative fixture: the discipline done right.
+
+Writes hold the lock, the check-then-act is atomic under it, and the
+blocking calls happen outside the critical section.
+"""
+
+import threading
+
+
+class SharedCache:
+    """A cache that honours its own lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+
+    def put(self, key, value):
+        """Write under the lock."""
+        with self._lock:
+            self._store[key] = value
+
+    def ensure(self, key):
+        """Atomic check-then-act under the lock."""
+        with self._lock:
+            if key not in self._store:
+                self._store[key] = 0
+
+    def drain(self, queue):
+        """Block first, then take the lock for the write."""
+        item = queue.get()
+        with self._lock:
+            self._store["last"] = item
+
+    def snapshot(self):
+        """Reads may copy under the lock and process outside it."""
+        with self._lock:
+            items = dict(self._store)
+        return sorted(items)

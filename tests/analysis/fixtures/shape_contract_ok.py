@@ -1,0 +1,45 @@
+"""RPR015 true-negative fixture: agreeing contracts, symbolic dims.
+
+Symbols are wildcards and ellipses absorb stacking, so none of these
+edges may be flagged.
+"""
+
+import numpy as np
+
+
+def make_psd(n):
+    """Produce a power spectrum.
+
+    Returns:
+        Power densities, shape: ``(N,)``.
+    """
+    return np.zeros(n)
+
+
+def stack_psd(windows, n):
+    """Produce stacked spectra.
+
+    Returns:
+        Stacked densities, shape: ``(W, N)``.
+    """
+    return np.zeros((windows, n))
+
+
+def to_db(power):
+    """Compress to decibels.
+
+    Args:
+        power: densities, any stacking, shape: ``(..., N)``.
+
+    Returns:
+        Decibels, shape: ``(..., N)``.
+    """
+    return np.log10(np.maximum(power, 1e-30))
+
+
+def pipeline(windows, n):
+    """Rank-1 and rank-2 producers both satisfy the ellipsis arg."""
+    a = to_db(make_psd(n))
+    s = stack_psd(windows, n)
+    b = to_db(s)
+    return a, b

@@ -1,0 +1,38 @@
+"""RPR015 true-positive fixture: a seeded producer/consumer mismatch.
+
+``make_spectrum`` documents ``(F, n_tags, 180)`` but ``pool_spectrum``
+demands ``(F, n_tags, 360)`` — a literal-dim conflict the contract
+checker must catch both through an assignment and through direct
+nesting.
+"""
+
+import numpy as np
+
+
+def make_spectrum(frames, tags):
+    """Produce a pseudospectrum stack.
+
+    Returns:
+        Stacked spectra, shape: ``(F, n_tags, 180)``.
+    """
+    return np.zeros((frames, tags, 180))
+
+
+def pool_spectrum(spectrum):
+    """Pool over an (incompatibly) finer angle grid.
+
+    Args:
+        spectrum: stacked spectra, shape: ``(F, n_tags, 360)``.
+
+    Returns:
+        Pooled spectra, shape: ``(F, n_tags)``.
+    """
+    return spectrum.max(axis=-1)
+
+
+def pipeline(frames, tags):
+    """Both flow styles must be caught (lines 36 and 37)."""
+    s = make_spectrum(frames, tags)
+    a = pool_spectrum(s)
+    b = pool_spectrum(make_spectrum(frames, tags))
+    return a + b

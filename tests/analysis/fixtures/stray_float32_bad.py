@@ -1,0 +1,44 @@
+"""RPR012 true-positive fixture: narrow floats with no inference scope.
+
+Every construct here violates the float64 discipline and must be
+flagged: a dtype= origin, an .astype cast, an escape of a sanctioned
+value past its scope, and a call edge importing narrowness.
+"""
+
+import numpy as np
+
+from repro.nn import inference_mode
+
+
+def bad_origin():
+    """dtype= narrow origin outside any scope (line 15)."""
+    return np.zeros(8, dtype=np.float32)
+
+
+def bad_cast(x):
+    """.astype narrow origin outside any scope (line 20)."""
+    return x.astype("float32")
+
+
+def bad_escape(feats):
+    """Sanctioned value read after its scope exits (line 27)."""
+    with inference_mode():
+        x = feats.astype(np.float32)
+    return x
+
+
+def bad_call_edge():
+    """Narrow-returning call outside a scope (line 36)."""
+
+    def _unused():
+        return None
+
+    y = sanctioned_producer()
+    return y
+
+
+def sanctioned_producer():
+    """Returns narrow data from inside a scope — legal here, the
+    obligation moves to the call sites."""
+    with inference_mode():
+        return np.ones(4, dtype=np.float32)

@@ -1,0 +1,174 @@
+"""RPR013 lockset discipline and RPR014 blocking-under-lock."""
+
+from __future__ import annotations
+
+from repro.analysis.lint import lint_source
+
+
+def findings_of(src: str, code: str) -> list[int]:
+    findings = lint_source(src, path="mod.py", select=[code])
+    assert all(f.code == code for f in findings)
+    return [f.line for f in findings]
+
+
+CLASS_HEADER = (
+    "import threading\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._store = {}\n"
+)
+
+
+# ---------------------------------------------------------------------------
+# RPR013 — lockset.
+
+
+def test_unlocked_write_to_protected_attr():
+    src = CLASS_HEADER + (
+        "    def put(self, k, v):\n"
+        "        with self._lock:\n"
+        "            self._store[k] = v\n"
+        "    def evict(self, k):\n"
+        "        self._store.pop(k, None)\n"
+    )
+    assert findings_of(src, "RPR013") == [10]
+
+
+def test_attr_never_locked_is_not_protected():
+    # An attribute no method ever touches under the lock has no
+    # declared discipline — flagging it would drown real findings.
+    src = CLASS_HEADER + (
+        "    def bump(self):\n"
+        "        self.hits = 1\n"
+    )
+    assert findings_of(src, "RPR013") == []
+
+
+def test_init_writes_exempt():
+    src = CLASS_HEADER + (
+        "    def put(self, k, v):\n"
+        "        with self._lock:\n"
+        "            self._store[k] = v\n"
+    )
+    assert findings_of(src, "RPR013") == []
+
+
+def test_unlocked_check_then_act():
+    src = CLASS_HEADER + (
+        "    def put(self, k, v):\n"
+        "        with self._lock:\n"
+        "            self._store[k] = v\n"
+        "    def ensure(self, k):\n"
+        "        if k not in self._store:\n"
+        "            self._store[k] = 0\n"
+    )
+    assert findings_of(src, "RPR013") == [10, 11]
+
+
+def test_locked_check_then_act_ok():
+    src = CLASS_HEADER + (
+        "    def ensure(self, k):\n"
+        "        with self._lock:\n"
+        "            if k not in self._store:\n"
+        "                self._store[k] = 0\n"
+    )
+    assert findings_of(src, "RPR013") == []
+
+
+def test_module_level_globals_tracked():
+    src = (
+        "import threading\n"
+        "_lock = threading.Lock()\n"
+        "_registry = {}\n"
+        "def add(k, v):\n"
+        "    with _lock:\n"
+        "        _registry[k] = v\n"
+        "def drop(k):\n"
+        "    _registry.pop(k, None)\n"
+    )
+    assert findings_of(src, "RPR013") == [8]
+
+
+def test_function_locals_not_confused_with_globals():
+    # `key` is a local of both functions, not shared state; only the
+    # true module global is in scope for the lockset.
+    src = (
+        "import threading\n"
+        "_lock = threading.Lock()\n"
+        "_registry = {}\n"
+        "def add(k, v):\n"
+        "    key = str(k)\n"
+        "    with _lock:\n"
+        "        _registry[key] = v\n"
+        "def probe(k):\n"
+        "    key = str(k)\n"
+        "    return key\n"
+    )
+    assert findings_of(src, "RPR013") == []
+
+
+def test_module_import_time_init_exempt():
+    src = (
+        "import threading\n"
+        "_lock = threading.Lock()\n"
+        "_registry = {}\n"
+        "_registry['seed'] = 0\n"
+        "def add(k, v):\n"
+        "    with _lock:\n"
+        "        _registry[k] = v\n"
+    )
+    assert findings_of(src, "RPR013") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR014 — blocking under lock.
+
+
+def test_sleep_under_lock():
+    src = CLASS_HEADER + (
+        "    def drain(self):\n"
+        "        with self._lock:\n"
+        "            import time\n"
+        "            time.sleep(0.1)\n"
+    )
+    assert findings_of(src, "RPR014") == [9]
+
+
+def test_queue_get_under_lock():
+    src = CLASS_HEADER + (
+        "    def drain(self, request_q):\n"
+        "        with self._lock:\n"
+        "            item = request_q.get()\n"
+        "        return item\n"
+    )
+    assert findings_of(src, "RPR014") == [8]
+
+
+def test_dict_get_is_not_blocking():
+    src = CLASS_HEADER + (
+        "    def peek(self, k):\n"
+        "        with self._lock:\n"
+        "            return self._store.get(k)\n"
+    )
+    assert findings_of(src, "RPR014") == []
+
+
+def test_process_join_under_lock_but_str_join_fine():
+    src = CLASS_HEADER + (
+        "    def shutdown(self, worker_proc, parts):\n"
+        "        with self._lock:\n"
+        "            worker_proc.join()\n"
+        "            return ', '.join(parts)\n"
+    )
+    assert findings_of(src, "RPR014") == [8]
+
+
+def test_blocking_outside_lock_ok():
+    src = CLASS_HEADER + (
+        "    def drain(self, request_q):\n"
+        "        item = request_q.get()\n"
+        "        with self._lock:\n"
+        "            self._store['last'] = item\n"
+    )
+    assert findings_of(src, "RPR014") == []

@@ -1,0 +1,134 @@
+"""RPR012 dtype-flow: narrow-float origins, inference-mode sanction,
+escapes, and interprocedural call edges.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import lint_source
+
+
+def rpr012(src: str) -> list[int]:
+    findings = lint_source(src, path="mod.py", select=["RPR012"])
+    assert all(f.code == "RPR012" for f in findings)
+    return [f.line for f in findings]
+
+
+def test_dtype_kwarg_origin_flagged():
+    assert rpr012(
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    return np.zeros(n, dtype=np.float32)\n"
+    ) == [3]
+
+
+def test_astype_origin_flagged():
+    assert rpr012(
+        "def f(x):\n"
+        "    return x.astype('float32')\n"
+    ) == [2]
+
+
+def test_ctor_and_dtype_string_origins_flagged():
+    lines = rpr012(
+        "import numpy as np\n"
+        "def f(v):\n"
+        "    a = np.float32(v)\n"
+        "    d = np.dtype('complex64')\n"
+        "    return a, d\n"
+    )
+    assert lines == [3, 4]
+
+
+def test_wide_dtypes_are_clean():
+    assert rpr012(
+        "import numpy as np\n"
+        "from repro.nn.module import DEFAULT_DTYPE\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.float64)\n"
+        "    b = np.zeros(n, dtype=DEFAULT_DTYPE)\n"
+        "    return a.astype(float), b\n"
+    ) == []
+
+
+def test_bare_attribute_in_ban_table_is_not_an_origin():
+    # A ban/mapping table may *name* np.float32 without creating a
+    # narrow value in the numeric pipeline.
+    assert rpr012(
+        "import numpy as np\n"
+        "BANNED = {np.float32: 'use float64', np.complex64: 'use complex128'}\n"
+    ) == []
+
+
+def test_inference_mode_sanctions_origin():
+    assert rpr012(
+        "import numpy as np\n"
+        "from repro.nn.module import inference_mode\n"
+        "def serve(x):\n"
+        "    with inference_mode():\n"
+        "        return x.astype(np.float32)\n"
+    ) == []
+
+
+def test_sanctioned_value_escaping_scope_is_flagged():
+    lines = rpr012(
+        "import numpy as np\n"
+        "from repro.nn.module import inference_mode\n"
+        "def serve(x):\n"
+        "    with inference_mode():\n"
+        "        y = x.astype(np.float32)\n"
+        "    return y\n"
+    )
+    assert lines == [6]
+
+
+def test_cleansed_value_may_leave_scope():
+    assert rpr012(
+        "import numpy as np\n"
+        "from repro.nn.module import inference_mode\n"
+        "def serve(x):\n"
+        "    with inference_mode():\n"
+        "        y = x.astype(np.float32)\n"
+        "        y = y.astype(np.float64)\n"
+        "    return y\n"
+    ) == []
+
+
+def test_branch_join_keeps_the_tainted_path():
+    # One branch sanctions, the other does not: the join must keep the
+    # worse (unsanctioned) fact and the later read stays legal only if
+    # every path was sanctioned.
+    lines = rpr012(
+        "import numpy as np\n"
+        "from repro.nn.module import inference_mode\n"
+        "def f(x, fast):\n"
+        "    if fast:\n"
+        "        y = x.astype(np.float32)\n"
+        "    else:\n"
+        "        with inference_mode():\n"
+        "            y = x.astype(np.float32)\n"
+        "    return y\n"
+    )
+    assert lines == [5]
+
+
+def test_call_to_narrow_returning_function_needs_sanction():
+    src = (
+        "import numpy as np\n"
+        "from repro.nn.module import inference_mode\n"
+        "def make_half(x):\n"
+        "    with inference_mode():\n"
+        "        return x.astype(np.float32)\n"
+        "def good(x):\n"
+        "    with inference_mode():\n"
+        "        return make_half(x)\n"
+        "def bad(x):\n"
+        "    return make_half(x)\n"
+    )
+    assert rpr012(src) == [10]
+
+
+def test_line_suppression_with_justification():
+    assert rpr012(
+        "import numpy as np\n"
+        "HALF = np.dtype(np.float32)  # reprolint: disable=RPR012 -- interop table\n"
+    ) == []

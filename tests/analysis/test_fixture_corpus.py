@@ -1,0 +1,68 @@
+"""Golden-findings corpus: each fixture must report exactly the
+findings recorded in ``fixtures/golden_findings.json``.
+
+Regenerate the goldens (after an intentional rule change) with::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json, pathlib
+    from repro.analysis.lint import lint_paths
+    fixtures = pathlib.Path("tests/analysis/fixtures")
+    golden = {
+        f.name: [
+            {"line": x.line, "code": x.code, "message": x.message}
+            for x in lint_paths([str(f)], baseline=None).findings
+        ]
+        for f in sorted(fixtures.glob("*.py"))
+    }
+    (fixtures / "golden_findings.json").write_text(json.dumps(golden, indent=2) + "\n")
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = json.loads((FIXTURES / "golden_findings.json").read_text())
+
+# The corpus contract: which fixtures must be dirty and with what.
+MUST_PASS = {"inference_mode_ok.py", "lockset_ok.py", "shape_contract_ok.py"}
+MUST_FAIL = {
+    "stray_float32_bad.py": {"RPR012"},
+    "lockset_bad.py": {"RPR013", "RPR014"},
+    "shape_mismatch_bad.py": {"RPR015"},
+}
+
+
+def test_corpus_is_complete():
+    on_disk = {p.name for p in FIXTURES.glob("*.py")}
+    assert on_disk == set(GOLDEN)
+    assert MUST_PASS <= on_disk
+    assert set(MUST_FAIL) <= on_disk
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_fixture_matches_golden(name):
+    report = lint_paths([str(FIXTURES / name)], baseline=None)
+    actual = [
+        {"line": f.line, "code": f.code, "message": f.message}
+        for f in report.findings
+    ]
+    assert actual == GOLDEN[name]
+
+
+@pytest.mark.parametrize("name", sorted(MUST_PASS))
+def test_clean_fixtures_are_clean(name):
+    assert GOLDEN[name] == []
+
+
+@pytest.mark.parametrize("name", sorted(MUST_FAIL))
+def test_dirty_fixtures_trip_their_pack(name):
+    codes = {e["code"] for e in GOLDEN[name]}
+    assert codes == MUST_FAIL[name]
+    assert GOLDEN[name], f"{name} must have findings"

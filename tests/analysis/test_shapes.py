@@ -1,0 +1,188 @@
+"""Shape-tag parsing, contract matching/conflict, and RPR015."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow.shapes import (
+    ContractParseError,
+    extract_contracts,
+    find_shape_tags,
+    parse_shape_tag,
+)
+from repro.analysis.lint import lint_source
+
+
+# ---------------------------------------------------------------------------
+# Tag parsing.
+
+
+def test_find_tags_in_docstring():
+    doc = "Returns:\n    spectra, shape: ``(W, n_tags, A)``.\n"
+    assert find_shape_tags(doc) == ["W, n_tags, A"]
+
+
+def test_parse_literal_symbol_and_ellipsis():
+    c = parse_shape_tag("..., n_tags, 180")
+    assert c.has_ellipsis
+    assert c.dims[-1] == 180
+    assert c.dims[-2] == "n_tags"
+
+
+def test_malformed_tag_raises():
+    with pytest.raises(ContractParseError):
+        parse_shape_tag("W,, A")
+
+
+def test_extract_contracts_maps_args_and_returns():
+    doc = (
+        "Do a thing.\n\n"
+        "Args:\n"
+        "    x: input frames, shape: ``(W, N)``.\n"
+        "    n: a plain int.\n\n"
+        "Returns:\n"
+        "    spectra, shape: ``(W, A)``.\n"
+    )
+    contracts = extract_contracts(doc)
+    assert set(contracts.args) == {"x"}
+    assert len(contracts.returns) == 1
+    assert contracts.returns[0].rank == 2
+
+
+# ---------------------------------------------------------------------------
+# Matching and conflict.
+
+
+def test_matches_literal_and_symbol():
+    c = parse_shape_tag("W, 180")
+    assert c.matches((5, 180)) is None
+    assert c.matches((5, 360)) is not None
+    assert c.matches((5,)) is not None  # rank mismatch
+
+
+def test_ellipsis_absorbs_leading_dims():
+    c = parse_shape_tag("..., N")
+    assert c.matches((7,)) is None
+    assert c.matches((3, 4, 7)) is None
+
+
+def test_conflict_rank():
+    a = parse_shape_tag("W, N")
+    b = parse_shape_tag("W, N, A")
+    assert a.conflict_with(b) is not None
+
+
+def test_conflict_literal_dims_from_right():
+    a = parse_shape_tag("F, n_tags, 180")
+    b = parse_shape_tag("F, n_tags, 360")
+    assert a.conflict_with(b) is not None
+
+
+def test_symbols_are_wildcards():
+    a = parse_shape_tag("W, N")
+    b = parse_shape_tag("frames, bins")
+    assert a.conflict_with(b) is None
+
+
+def test_ellipsis_disables_rank_conflict():
+    a = parse_shape_tag("N,")
+    b = parse_shape_tag("..., N")
+    assert a.conflict_with(b) is None
+
+
+# ---------------------------------------------------------------------------
+# RPR015 on source.
+
+
+def rpr015(src: str) -> list[int]:
+    findings = lint_source(src, path="mod.py", select=["RPR015"])
+    assert all(f.code == "RPR015" for f in findings)
+    return [f.line for f in findings]
+
+
+PRODUCER = (
+    "def make(n):\n"
+    '    """Produce.\n'
+    "\n"
+    "    Returns:\n"
+    "        spectra, shape: ``(F, 180)``.\n"
+    '    """\n'
+    "    return n\n"
+)
+
+
+def test_conflicting_edge_flagged_direct_and_via_assignment():
+    src = PRODUCER + (
+        "def pool(spectrum):\n"
+        '    """Pool.\n'
+        "\n"
+        "    Args:\n"
+        "        spectrum: spectra, shape: ``(F, 360)``.\n"
+        '    """\n'
+        "    return spectrum\n"
+        "def run(n):\n"
+        "    s = make(n)\n"
+        "    a = pool(s)\n"
+        "    return a, pool(make(n))\n"
+    )
+    assert rpr015(src) == [17, 18]
+
+
+def test_agreeing_edge_clean():
+    src = PRODUCER + (
+        "def pool(spectrum):\n"
+        '    """Pool.\n'
+        "\n"
+        "    Args:\n"
+        "        spectrum: spectra, shape: ``(..., 180)``.\n"
+        '    """\n'
+        "    return spectrum\n"
+        "def run(n):\n"
+        "    return pool(make(n))\n"
+    )
+    assert rpr015(src) == []
+
+
+def test_keyword_argument_edge_checked():
+    src = PRODUCER + (
+        "def pool(scale, spectrum):\n"
+        '    """Pool.\n'
+        "\n"
+        "    Args:\n"
+        "        spectrum: spectra, shape: ``(F, 360)``.\n"
+        '    """\n'
+        "    return spectrum\n"
+        "def run(n):\n"
+        "    return pool(1.0, spectrum=make(n))\n"
+    )
+    assert rpr015(src) == [16]
+
+
+def test_malformed_tag_is_a_finding():
+    src = (
+        "def make(n):\n"
+        '    """Produce.\n'
+        "\n"
+        "    Returns:\n"
+        "        spectra, shape: ``(F,, 180)``.\n"
+        '    """\n'
+        "    return n\n"
+    )
+    assert rpr015(src) == [1]
+
+
+def test_reassignment_clears_tracked_contract():
+    src = PRODUCER + (
+        "def pool(spectrum):\n"
+        '    """Pool.\n'
+        "\n"
+        "    Args:\n"
+        "        spectrum: spectra, shape: ``(F, 360)``.\n"
+        '    """\n'
+        "    return spectrum\n"
+        "def run(n):\n"
+        "    s = make(n)\n"
+        "    s = n\n"
+        "    return pool(s)\n"
+    )
+    assert rpr015(src) == []
