@@ -14,7 +14,9 @@ to detect:
 
 * non-finite values in inputs, outputs, and parameter gradients;
 * dtype drift away from :data:`repro.nn.module.DEFAULT_DTYPE`
-  (float64) or complex128;
+  (float64) or complex128 — in inputs, outputs, *and parameter
+  values*, so a cast-once float32 serve model run outside
+  :func:`repro.nn.module.inference_mode` trips at its first layer;
 * exploding gradient norms;
 * a ``backward`` input-gradient shape that no longer matches the
   shape ``forward`` consumed.
@@ -40,7 +42,13 @@ from repro.analysis.dataflow.shapes import (
     ShapeContract,
     extract_contracts,
 )
-from repro.nn.module import DEFAULT_DTYPE, INFERENCE_DTYPE, Module, in_inference_mode
+from repro.nn.module import (
+    DEFAULT_DTYPE,
+    INFERENCE_DTYPE,
+    Module,
+    Parameter,
+    in_inference_mode,
+)
 
 __all__ = [
     "AnomalyError",
@@ -147,6 +155,15 @@ def _wrap_forward(cls: type[Module], orig: Callable, cfg: _Config) -> Callable:
     def forward(self: Module, *args: object, **kwargs: object) -> object:
         x = args[0] if args else kwargs.get("x")
         _check_array(x, stage, "input", cfg)
+        if cfg.check_dtypes:
+            # Own parameters only: each wrapped layer checks its own, so
+            # a narrow serve model trips at the first layer that runs
+            # without paying a full recursive walk per call.
+            for attr_name, attr in vars(self).items():
+                if isinstance(attr, Parameter):
+                    _check_array(
+                        attr.value, stage, f"value of {attr.name or attr_name}", cfg
+                    )
         out = orig(self, *args, **kwargs)
         _check_array(out, stage, "output", cfg)
         if isinstance(x, np.ndarray):

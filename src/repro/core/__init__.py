@@ -4,7 +4,13 @@ from repro.core.config import M2AIConfig
 from repro.core.dataset import ActivityDataset, ChannelScaler
 from repro.core.ensemble import M2AIEnsemble
 from repro.core.model import MODEL_MODES, ConvBranch, DenseBranch, M2AINet
-from repro.core.pipeline import EvaluationResult, M2AIPipeline, baseline_arrays
+from repro.core.pipeline import (
+    SERVE_DTYPES,
+    EvaluationResult,
+    M2AIPipeline,
+    ServeParityError,
+    baseline_arrays,
+)
 from repro.core.serialization import load_pipeline, save_pipeline
 from repro.core.streaming import ABSTAIN, StreamingIdentifier, WindowDecision
 from repro.core.trainer import TrainHistory, Trainer
@@ -21,6 +27,8 @@ __all__ = [
     "M2AIEnsemble",
     "M2AINet",
     "M2AIPipeline",
+    "SERVE_DTYPES",
+    "ServeParityError",
     "StreamingIdentifier",
     "TrainHistory",
     "Trainer",

@@ -175,6 +175,13 @@ class StreamingIdentifier:
         min_confidence: classifications below this top-class
             probability become abstains; 0 (the default) disables the
             check, preserving the always-classify behaviour.
+        serve_dtype: required pipeline serving precision (one of
+            :data:`~repro.core.pipeline.SERVE_DTYPES`), or None (the
+            default) to serve at whatever precision the pipeline is
+            configured for.  When set, every predict call re-checks the
+            pipeline — a pack silently invalidated by a retrain (or
+            never installed) raises instead of silently serving at the
+            wrong precision.
     """
 
     pipeline: M2AIPipeline
@@ -185,6 +192,19 @@ class StreamingIdentifier:
     min_reads: int = 32
     min_live_ports: int = 2
     min_confidence: float = 0.0
+    serve_dtype: str | None = None
+
+    def _check_serve_dtype(self) -> None:
+        """Fail loudly when the pipeline's precision drifted from ours."""
+        if self.serve_dtype is None:
+            return
+        active = getattr(self.pipeline, "serve_dtype", "float64")
+        if active != self.serve_dtype:
+            raise RuntimeError(
+                f"identifier requires serve_dtype={self.serve_dtype!r} but "
+                f"the pipeline is serving {active!r} — call "
+                "pipeline.set_serve_dtype() (a refit/fine-tune drops the pack)"
+            )
 
     def identify(self, log: ReadLog) -> list[WindowDecision]:
         """Classify every complete window of ``log``.
@@ -283,6 +303,7 @@ class StreamingIdentifier:
                 dataset = ActivityDataset(
                     samples=samples, labels=["?"] * len(samples)
                 )
+                self._check_serve_dtype()
                 with span("streaming.predict", windows=len(pending)):
                     with stage_boundary("predict"):
                         probas = self.pipeline.predict_proba(dataset)
@@ -470,6 +491,7 @@ class StreamingIdentifier:
         """
         if self.pipeline.model is None:
             raise RuntimeError("pipeline not fitted")
+        self._check_serve_dtype()
         dataset = ActivityDataset(
             samples=list(samples), labels=["?"] * len(samples)
         )

@@ -11,6 +11,7 @@ from repro.nn.module import (
     Module,
     Parameter,
     Sequential,
+    cast_once,
     in_inference_mode,
     inference_mode,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ReLU",
     "Sequential",
     "Tanh",
+    "cast_once",
     "check_module_gradients",
     "clip_grad_norm",
     "glorot_uniform",

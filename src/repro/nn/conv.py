@@ -54,13 +54,60 @@ class Conv1d(Module):
         self.bias = Parameter(np.zeros(out_channels), name=f"{name}.b")
         self._x_pad: np.ndarray | None = None
         self._x_shape: tuple[int, ...] | None = None
+        self._packed: np.ndarray | None = None
+        self._packed_key: tuple | None = None
 
     def _tap_view(self, x_pad: np.ndarray, k: int, l_out: int) -> np.ndarray:
-        """Strided view of tap ``k``'s input columns, shape ``(B, C, L_out)``."""
+        """Strided view of tap ``k``'s input columns, shape: ``(B, C, L_out)``."""
         return x_pad[:, :, k : k + self.stride * l_out : self.stride]
 
+    def _weight_key(self) -> tuple:
+        """Cache key for the pre-packed taps, in the steering-cache style.
+
+        Identity of the weight buffer (data pointer), its layout
+        (shape + dtype) and its frozen-ness.  A pack is only *used* when
+        the weight is read-only, so a matching key proves the packed
+        views still reflect the buffer contents — in-place mutation of
+        a frozen array is impossible, and any rebind changes the
+        pointer.
+        """
+        w = self.weight.value
+        return (
+            w.__array_interface__["data"][0],
+            w.shape,
+            w.dtype.str,
+            bool(w.flags.writeable),
+        )
+
+    def pack_weights(self) -> None:
+        """Pre-pack per-tap weight matrices for the inference fast path.
+
+        ``weight`` is stored ``(C_out, C, K)``, so the per-tap slice
+        ``w[:, :, k]`` the forward matmul consumes is non-contiguous
+        (stride ``K`` between row elements) and re-gathered on every
+        call.  The pack copies the taps once into a contiguous
+        ``(K, C_out, C)`` block — shape: ``(K, C_out, C)`` — frozen
+        read-only and keyed on the weight buffer like the
+        steering-matrix cache (read-only hits, identity-keyed);
+        :func:`repro.nn.module.cast_once` calls this after freezing the
+        serve model's weights.  The training path never packs because
+        the optimizer mutates weights in place every step, which would
+        silently invalidate the views.
+        """
+        w = self.weight.value
+        packed = np.ascontiguousarray(np.moveaxis(w, 2, 0))
+        packed.flags.writeable = False
+        self._packed = packed
+        self._packed_key = self._weight_key()
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        """Forward pass (caches what :meth:`backward` needs)."""
+        """Forward pass (caches what :meth:`backward` needs).
+
+        Input shape: ``(B, C, L)``; output shape: ``(B, C_out, L_out)``.
+        The output dtype follows ``np.result_type(x, weight)``, so a
+        cast-once float32 serve model runs narrow end to end while
+        float64 training is untouched.
+        """
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (B, {self.in_channels}, L), got {x.shape}"
@@ -68,17 +115,32 @@ class Conv1d(Module):
         batch, _c, length = x.shape
         l_out = _out_length(length, self.kernel, self.stride, self.padding)
         if self.padding:
-            x_pad = np.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
+            # Direct zero-buffer fill: np.pad's generality costs more
+            # Python time than this whole layer at serve batch sizes.
+            x_pad = np.zeros(
+                (batch, self.in_channels, length + 2 * self.padding),
+                dtype=x.dtype,
+            )
+            x_pad[:, :, self.padding : self.padding + length] = x
         else:
             x_pad = x
         self._x_pad = x_pad
         self._x_shape = x.shape
         w = self.weight.value  # (C_out, C, K)
-        y = np.empty((batch, self.out_channels, l_out))
-        y[...] = self.bias.value[:, None]
+        packed = self._packed
+        use_packed = (
+            packed is not None
+            and not training
+            and not w.flags.writeable
+            and self._packed_key == self._weight_key()
+        )
+        dtype = np.result_type(x.dtype, w.dtype)
+        y = np.empty((batch, self.out_channels, l_out), dtype=dtype)
+        y[...] = self.bias.value[:, None].astype(dtype, copy=False)
         for k in range(self.kernel):
             # (C_out, C) @ (B, C, L_out) broadcasts over the batch.
-            y += np.matmul(w[:, :, k], self._tap_view(x_pad, k, l_out))
+            wk = packed[k] if use_packed else w[:, :, k]
+            y += np.matmul(wk, self._tap_view(x_pad, k, l_out))
         return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

@@ -156,6 +156,24 @@ class Module:
                         params.append(item)
         return params
 
+    def modules(self) -> list["Module"]:
+        """This module and every sub-module, depth-first, deterministic order.
+
+        The structural companion of :meth:`parameters`: walks the same
+        attribute/list/tuple registration scheme but yields the modules
+        themselves, so whole-model passes (weight packing, freezing)
+        can visit each layer exactly once.
+        """
+        found: list[Module] = [self]
+        for _name, attr in sorted(vars(self).items()):
+            if isinstance(attr, Module):
+                found.extend(attr.modules())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        found.extend(item.modules())
+        return found
+
     def zero_grad(self) -> None:
         """Reset every parameter gradient to zero."""
         for p in self.parameters():
@@ -184,6 +202,64 @@ class Module:
             if p.value.shape != value.shape:
                 raise ValueError(f"shape mismatch for {p.name}: {p.value.shape} vs {value.shape}")
             p.value[...] = value
+
+
+def cast_once(module: Module, dtype: np.dtype | type) -> Module:
+    """Cast every parameter of ``module`` to ``dtype``, freeze, and pre-pack.
+
+    The serve-path primitive: a trained model is deep-copied by the
+    caller, cast down *once* here, and then only ever run forward.  Three
+    things happen, in order:
+
+    1. every :class:`Parameter` value is cast to ``dtype`` (gradients are
+       re-zeroed in the new dtype so the invariant ``value.dtype ==
+       grad.dtype`` holds),
+    2. every parameter value is frozen read-only, so in-place training
+       updates (and :meth:`Module.set_state`) fail loudly instead of
+       silently invalidating pre-packed views,
+    3. every layer exposing ``pack_weights()`` (e.g.
+       :class:`repro.nn.conv.Conv1d`) pre-packs contiguous weight views
+       keyed on the now-frozen buffer.
+
+    Narrow targets (anything below :data:`DEFAULT_DTYPE`) must be
+    requested inside :func:`inference_mode` — the same scope the RPR012
+    lint and the runtime sanitizer key off — so a float32 pack can never
+    be built on a code path where narrow activations would leak into
+    training.
+
+    Idempotent: casting to the current dtype only re-freezes and
+    re-packs.
+
+    Args:
+        module: the model to cast in place (cast your own deepcopy).
+        dtype: target floating dtype.
+
+    Returns:
+        ``module``, for chaining.
+
+    Raises:
+        TypeError: when ``dtype`` is not a floating dtype.
+        RuntimeError: when ``dtype`` is narrower than the library
+            standard and the caller is not inside :func:`inference_mode`.
+    """
+    dt = np.dtype(dtype)
+    if dt.kind != "f":
+        raise TypeError(f"cast_once target must be a floating dtype, got {dt}")
+    if dt != DEFAULT_DTYPE and not in_inference_mode():
+        raise RuntimeError(
+            f"cast_once to {dt} is a narrow cast and must run inside "
+            "inference_mode() (see DESIGN.md section 14)"
+        )
+    for p in module.parameters():
+        if p.value.dtype != dt:
+            p.value = p.value.astype(dt)
+            p.grad = np.zeros_like(p.value)
+        p.value.flags.writeable = False
+    for sub in module.modules():
+        pack = getattr(sub, "pack_weights", None)
+        if callable(pack):
+            pack()
+    return module
 
 
 class Sequential(Module):

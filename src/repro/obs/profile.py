@@ -12,10 +12,17 @@ instrumented ingest→DSP→inference path, and writes
 instrumented stage plus a real-time margin for the end-to-end window.
 
 The required stage set (hub merge, calibration, MUSIC, periodogram,
-network forward, end-to-end window, supervised runtime window) is
-asserted before the artifact is written, so a refactor that silently
-drops an instrumentation point fails the benchmark job instead of
-producing a hollow artifact.
+network forward, fused LSTM, end-to-end window, supervised runtime
+window) is asserted before the artifact is written, so a refactor that
+silently drops an instrumentation point fails the benchmark job
+instead of producing a hollow artifact.
+
+Two parity gates run inside the measured block: the batched DSP
+entry points against their scalar loops (``rtol=1e-12``) and the fused
+LSTM against its per-timestep scalar reference (``rtol=1e-9``), plus
+the float32 serve pack's accuracy-parity gate — decisions on the eval
+set must match float64 exactly before the streaming stages are
+measured through it.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ REQUIRED_STAGES = (
     "dsp.periodogram",
     "dsp.periodogram.batch",
     "nn.forward",
+    "nn.fused",
     "streaming.window",
     "runtime.window",
 )
@@ -45,7 +53,9 @@ The scalar ``dsp.music`` / ``dsp.periodogram`` spans come from the
 batch stage's scalar reference loop (the featurisation hot path itself
 now runs the ``*.batch`` entry points), so a refactor that silently
 drops either side of the scalar-vs-batched comparison still fails the
-benchmark job.
+benchmark job.  ``nn.fused`` is the fused-GEMM LSTM inner stage — its
+presence proves the recurrent fast path (not a fallback) served the
+measured windows.
 """
 
 _WINDOW_S = 4.0
@@ -132,7 +142,7 @@ def build_workload(quick: bool, seed: int):
             )
         )
     stream = concatenate_logs(parts)
-    return pipeline, calibrator, stream, calibration_log, window_logs
+    return pipeline, calibrator, stream, calibration_log, window_logs, dataset
 
 
 def run_batch_stage(window_logs: list, calibrator, repeat: int) -> dict:
@@ -238,6 +248,96 @@ def run_batch_stage(window_logs: list, calibrator, repeat: int) -> dict:
     }
 
 
+def run_nn_stage(pipeline, dataset, repeat: int) -> dict:
+    """The ``nn`` stage: scalar-vs-fused LSTM parity and serve-dtype timing.
+
+    Two comparisons, both on the trained model itself:
+
+    1. **Scalar vs fused.** Every LSTM layer's fused forward
+       (one ``X @ W_ih`` GEMM for all timesteps) is checked against its
+       per-timestep scalar reference (``forward_reference``) under an
+       ``rtol=1e-9`` assert — the recurrent twin of the 1e-12 DSP
+       batching gate (looser because the fused path sums gates in a
+       different order) — and both are timed.
+    2. **float64 vs float32.** The full-model ``predict_proba`` is
+       timed at training precision and through the cast-once float32
+       serve pack (installed via the accuracy-parity gate, which must
+       accept).  The pack is left installed, so stages profiled after
+       this one serve float32.
+
+    Returns:
+        The ``"nn"`` section of the benchmark document.
+
+    Raises:
+        AssertionError: when a fused forward deviates from its scalar
+            reference beyond ``rtol=1e-9``.
+        repro.core.pipeline.ServeParityError: when the float32 pack
+            changes any decision on the eval set.
+    """
+    from repro.nn.recurrent import LSTM
+
+    lstms = [m for m in pipeline.model.modules() if isinstance(m, LSTM)]
+    rng = np.random.default_rng(2024)
+    layers = []
+    for idx, lstm in enumerate(lstms):
+        x = rng.standard_normal((4, 24, lstm.in_dim))
+        reference = lstm.forward_reference(x)
+        fused = lstm.forward(x)
+        np.testing.assert_allclose(
+            fused, reference, rtol=1e-9, atol=1e-12,
+            err_msg="fused LSTM deviates from the scalar reference",
+        )
+        loops = max(repeat * 3, 5)
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            lstm.forward_reference(x)
+        scalar_ms = (time.perf_counter() - t0) * 1000.0 / loops
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            lstm.forward(x)
+        fused_ms = (time.perf_counter() - t0) * 1000.0 / loops
+        layers.append(
+            {
+                "layer": idx,
+                "in_dim": int(lstm.in_dim),
+                "hidden": int(lstm.hidden),
+                "scalar_ms": scalar_ms,
+                "fused_ms": fused_ms,
+                "speedup_x": scalar_ms / max(fused_ms, 1e-9),
+                "max_abs_delta": float(np.abs(fused - reference).max()),
+            }
+        )
+
+    n_windows = len(dataset.labels)
+    loops = max(repeat, 2)
+    pipeline.set_serve_dtype("float64")
+    pipeline.predict_proba(dataset)  # warm
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        pipeline.predict_proba(dataset)
+    float64_ms = (time.perf_counter() - t0) * 1000.0 / loops
+    parity_report = pipeline.set_serve_dtype("float32", parity=dataset)
+    pipeline.predict_proba(dataset)  # warm
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        pipeline.predict_proba(dataset)
+    float32_ms = (time.perf_counter() - t0) * 1000.0 / loops
+
+    return {
+        "parity_rtol": 1e-9,
+        "lstm": layers,
+        "serve": {
+            "windows": int(n_windows),
+            "float64_ms": float64_ms,
+            "float32_ms": float32_ms,
+            "speedup_x": float64_ms / max(float32_ms, 1e-9),
+            "float64_per_window_ms": float64_ms / max(n_windows, 1),
+            "float32_per_window_ms": float32_ms / max(n_windows, 1),
+            "parity_gate": parity_report,
+        },
+    }
+
+
 def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) -> dict:
     """Execute the instrumented workload and aggregate stage latencies.
 
@@ -263,8 +363,8 @@ def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) ->
         repeat = 2 if quick else 5
 
     t_setup = time.perf_counter()
-    pipeline, calibrator, stream, calibration_log, window_logs = build_workload(
-        quick, seed
+    pipeline, calibrator, stream, calibration_log, window_logs, dataset = (
+        build_workload(quick, seed)
     )
     setup_s = time.perf_counter() - t_setup
 
@@ -284,6 +384,11 @@ def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) ->
     try:
         for _ in range(repeat):
             PhaseCalibrator.fit(calibration_log)
+        # The nn stage runs first: it installs the float32 serve pack
+        # (parity-gated), so the streaming/runtime stages below measure
+        # the production serve path, not the training-precision one.
+        nn_doc = run_nn_stage(pipeline, dataset, repeat=max(repeat, 2))
+        identifier.serve_dtype = "float32"
         for _ in range(repeat):
             identifier.identify(stream)
         from repro.runtime import PipelineSupervisor
@@ -323,6 +428,13 @@ def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) ->
     identify_per_window_ms = stages["streaming.identify"]["total_ms"] / max(
         stages["streaming.window"]["count"], 1
     )
+    # streaming.predict spans cover only batched inference calls; their
+    # window counts live in the serve section of the nn stage, so the
+    # per-window predict cost amortises the span total over the same
+    # denominator as identify.
+    predict_per_window_ms = stages.get("streaming.predict", {}).get(
+        "total_ms", 0.0
+    ) / max(stages["streaming.window"]["count"], 1)
     doc = {
         "schema": "repro.obs.bench.v1",
         "quick": bool(quick),
@@ -340,8 +452,11 @@ def run_profile(quick: bool = True, seed: int = 0, repeat: int | None = None) ->
             "identify_margin_x": float(
                 _WINDOW_S * 1000.0 / max(identify_per_window_ms, 1e-9)
             ),
+            "predict_per_window_ms": predict_per_window_ms,
+            "serve_dtype": pipeline.serve_dtype,
         },
         "batch": batch_doc,
+        "nn": nn_doc,
         "runtime": {
             "supervised_window_p95_ms": stages["runtime.window"]["p95_ms"],
             "health": supervisor_health,
@@ -391,6 +506,24 @@ def main(argv: list[str] | None = None) -> int:
     out(
         f"identify per window: {rt['identify_per_window_ms']:.2f} ms "
         f"({rt['identify_margin_x']:.1f}x real time, inference batched)\n"
+    )
+    out(
+        f"predict per window: {rt['predict_per_window_ms']:.3f} ms "
+        f"(serve_dtype={rt['serve_dtype']})\n"
+    )
+    nn = doc["nn"]
+    for layer in nn["lstm"]:
+        out(
+            f"nn lstm[{layer['layer']}]: {layer['scalar_ms']:.3f} ms scalar vs "
+            f"{layer['fused_ms']:.3f} ms fused ({layer['speedup_x']:.1f}x, "
+            f"parity rtol {nn['parity_rtol']:g})\n"
+        )
+    serve = nn["serve"]
+    out(
+        f"nn serve: {serve['float64_ms']:.2f} ms float64 vs "
+        f"{serve['float32_ms']:.2f} ms float32 over {serve['windows']} windows "
+        f"({serve['speedup_x']:.1f}x, parity gate "
+        f"{'accepted' if serve['parity_gate']['accepted'] else 'REJECTED'})\n"
     )
     runtime = doc["runtime"]
     out(

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.obs.metrics import counter, histogram
+from repro.obs.metrics import counter, gauge, histogram
 from repro.obs.tracing import span
 from repro.runtime.breaker import StageFailureError, guard_scope
 from repro.runtime.supervisor import PipelineSupervisor, PreparedWindow
@@ -241,6 +241,15 @@ class ShardServer:
                     continue
                 pending.append((lane, prep))
             self._score_pending(pending, out)
+        # Surface the shared identifier's serving precision so a fleet
+        # dashboard can tell which shards run the float32 fast path
+        # (a refit silently drops the pack back to float64).
+        serve_dtype = getattr(
+            getattr(self._identifier, "pipeline", None), "serve_dtype", "float64"
+        )
+        gauge("serving.serve_float32", shard=self.shard_id).set(
+            1.0 if serve_dtype == "float32" else 0.0
+        )
         counter("serving.ticks_total").inc()
         histogram("serving.tick.latency_ms").observe(
             (time.perf_counter() - t0) * 1e3

@@ -1,0 +1,239 @@
+"""Float32 serve path: parity gate, cast-once semantics, enforcement.
+
+Covers the deployment contract end to end: ``set_serve_dtype`` only
+installs a float32 pack whose argmax decisions match float64 exactly,
+``cast_once`` refuses narrow casts outside ``inference_mode()`` and
+freezes what it casts, the runtime sanitizer trips on a narrow serve
+model run outside the scope, and the streaming identifier's
+``serve_dtype`` guard catches a pack silently dropped by a retrain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import AnomalyError, anomaly_detection
+from repro.core import (
+    M2AIConfig,
+    M2AIPipeline,
+    SERVE_DTYPES,
+    ServeParityError,
+)
+from repro.core.streaming import StreamingIdentifier
+from repro.nn import LSTM, cast_once
+from repro.nn.module import INFERENCE_DTYPE, inference_mode
+
+from tests.core.test_trainer_pipeline import synthetic_dataset
+
+TINY_CFG = M2AIConfig(
+    conv_channels=(3, 4),
+    branch_dim=6,
+    merge_dim=8,
+    lstm_hidden=6,
+    lstm_layers=1,
+    dropout=0.0,
+    epochs=25,
+    batch_size=8,
+    learning_rate=0.01,
+    warmup_frames=1,
+    augment=False,
+)
+
+
+@pytest.fixture(scope="module")
+def splits():
+    ds = synthetic_dataset(per_class=10)
+    return ds.split(0.25, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def fitted(splits):
+    train, test = splits
+    return M2AIPipeline(TINY_CFG).fit(train)
+
+
+@pytest.fixture()
+def pipeline(fitted):
+    """The module-scoped fitted pipeline, reset to float64 per test."""
+    fitted.set_serve_dtype("float64")
+    yield fitted
+    fitted.set_serve_dtype("float64")
+
+
+class TestParityGate:
+    def test_accept_installs_pack_and_preserves_decisions(self, pipeline, splits):
+        _train, test = splits
+        labels64 = pipeline.predict(test)
+        report = pipeline.set_serve_dtype("float32", parity=test)
+        assert report["accepted"] is True
+        assert report["n_mismatches"] == 0
+        assert report["n_windows"] == len(test)
+        assert report["max_abs_proba_delta"] < 1e-5
+        assert pipeline.serve_dtype == "float32"
+        # Decisions through the serve pack equal the float64 reference.
+        np.testing.assert_array_equal(pipeline.predict(test), labels64)
+
+    def test_proba_widened_to_float64(self, pipeline, splits):
+        _train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        proba = pipeline.predict_proba(test)
+        assert proba.dtype == np.float64
+
+    def test_idempotent_reenable_returns_same_report(self, pipeline, splits):
+        _train, test = splits
+        first = pipeline.set_serve_dtype("float32", parity=test)
+        pack = pipeline._serve_model
+        # No parity set needed the second time: nothing is re-validated.
+        second = pipeline.set_serve_dtype("float32")
+        assert second == first
+        assert pipeline._serve_model is pack
+
+    def test_reject_discards_pack(self, pipeline, splits, monkeypatch):
+        _train, test = splits
+        original = M2AIPipeline._serve_proba
+
+        def corrupted(self, channels):
+            # Reverse the class columns: every argmax decision flips.
+            return original(self, channels)[:, ::-1]
+
+        monkeypatch.setattr(M2AIPipeline, "_serve_proba", corrupted)
+        with pytest.raises(ServeParityError, match="parity gate rejected"):
+            pipeline.set_serve_dtype("float32", parity=test)
+        assert pipeline.serve_dtype == "float64"
+        assert pipeline._serve_model is None
+
+    def test_float32_requires_parity_dataset(self, pipeline):
+        with pytest.raises(ValueError, match="parity"):
+            pipeline.set_serve_dtype("float32")
+
+    def test_unknown_dtype_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="serve_dtype"):
+            pipeline.set_serve_dtype("float16")
+        assert "float16" not in SERVE_DTYPES
+
+    def test_unfitted_pipeline_rejected(self, splits):
+        _train, test = splits
+        with pytest.raises(RuntimeError, match="not fitted"):
+            M2AIPipeline(TINY_CFG).set_serve_dtype("float32", parity=test)
+
+    def test_float64_drops_pack(self, pipeline, splits):
+        _train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        report = pipeline.set_serve_dtype("float64")
+        assert report == {"serve_dtype": "float64", "accepted": True}
+        assert pipeline.serve_dtype == "float64"
+        assert pipeline._serve_model is None
+
+    def test_fine_tune_invalidates_pack(self, pipeline, splits):
+        train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        pipeline.fine_tune(train, epochs=1)
+        assert pipeline.serve_dtype == "float64"
+        assert pipeline._serve_model is None
+
+
+class TestCastOnce:
+    def test_narrow_cast_requires_inference_mode(self):
+        lstm = LSTM(3, 4, np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            cast_once(lstm, np.float32)
+
+    def test_casts_freeze_and_zero_grads(self):
+        lstm = LSTM(3, 4, np.random.default_rng(0))
+        lstm.w_x.grad += 1.0
+        with inference_mode():
+            cast_once(lstm, INFERENCE_DTYPE)
+        for p in lstm.parameters():
+            assert p.value.dtype == np.float32
+            assert p.grad.dtype == np.float32
+            assert not p.value.flags.writeable
+            np.testing.assert_allclose(p.grad, 0.0)
+
+    def test_idempotent_recast(self):
+        lstm = LSTM(3, 4, np.random.default_rng(0))
+        with inference_mode():
+            cast_once(lstm, INFERENCE_DTYPE)
+            before = lstm.w_x.value
+            cast_once(lstm, INFERENCE_DTYPE)
+        # Same-dtype recast re-freezes without replacing the buffers.
+        assert lstm.w_x.value is before
+        assert not lstm.w_x.value.flags.writeable
+
+    def test_frozen_weights_fail_loudly_on_mutation(self):
+        lstm = LSTM(3, 4, np.random.default_rng(0))
+        state = lstm.get_state()
+        with inference_mode():
+            cast_once(lstm, INFERENCE_DTYPE)
+        with pytest.raises(ValueError, match="read-only"):
+            lstm.w_x.value += 0.1
+        with pytest.raises(ValueError, match="read-only"):
+            lstm.set_state(state)
+
+    def test_widening_cast_allowed_outside_scope(self):
+        lstm = LSTM(3, 4, np.random.default_rng(0))
+        cast_once(lstm, np.float64)  # no-op width: legal anywhere
+        assert lstm.w_x.value.dtype == np.float64
+
+    def test_non_float_target_rejected(self):
+        lstm = LSTM(3, 4, np.random.default_rng(0))
+        with pytest.raises(TypeError, match="floating"):
+            cast_once(lstm, np.int32)
+
+
+class TestSanitizerEnforcement:
+    def test_float32_serve_outside_inference_mode_trips(self, pipeline, splits):
+        """A narrow serve model run without the scope must fail at its
+        first layer — the regression the parameter-value dtype check in
+        the sanitizer exists for."""
+        _train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        serve = pipeline._serve_model
+        channels, _ = test.to_arrays()
+        channels = pipeline._scaler.transform(channels)
+        narrow = {k: v.astype(INFERENCE_DTYPE) for k, v in channels.items()}
+        with anomaly_detection(wrap_dsp=False):
+            with pytest.raises(AnomalyError) as err:
+                serve.predict_logits(narrow)
+            assert err.value.kind == "dtype_drift"
+            # Inside the scope the same call is sanctioned.
+            with inference_mode():
+                serve.predict_logits(narrow)
+
+    def test_serve_proba_is_sanitizer_clean(self, pipeline, splits):
+        """The pipeline's own serve path opens the scope itself."""
+        _train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        with anomaly_detection(wrap_dsp=False):
+            proba = pipeline.predict_proba(test)
+        assert proba.dtype == np.float64
+
+
+class TestStreamingGuard:
+    def test_guard_rejects_missing_pack(self, pipeline, splits):
+        _train, test = splits
+        identifier = StreamingIdentifier(pipeline, serve_dtype="float32")
+        with pytest.raises(RuntimeError, match="serving 'float64'"):
+            identifier.predict_prepared(list(test.samples[:1]))
+
+    def test_guard_passes_with_pack_installed(self, pipeline, splits):
+        _train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        identifier = StreamingIdentifier(pipeline, serve_dtype="float32")
+        proba = identifier.predict_prepared(list(test.samples[:2]))
+        assert proba.shape == (2, 3)
+
+    def test_guard_catches_retrain_invalidation(self, pipeline, splits):
+        train, test = splits
+        pipeline.set_serve_dtype("float32", parity=test)
+        identifier = StreamingIdentifier(pipeline, serve_dtype="float32")
+        identifier.predict_prepared(list(test.samples[:1]))
+        pipeline.fine_tune(train, epochs=1)  # silently drops the pack
+        with pytest.raises(RuntimeError, match="refit/fine-tune"):
+            identifier.predict_prepared(list(test.samples[:1]))
+
+    def test_no_guard_by_default(self, pipeline, splits):
+        _train, test = splits
+        identifier = StreamingIdentifier(pipeline)
+        proba = identifier.predict_prepared(list(test.samples[:1]))
+        assert proba.shape[0] == 1

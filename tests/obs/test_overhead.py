@@ -23,7 +23,7 @@ from repro.obs.tracing import span
 @pytest.fixture(scope="module")
 def workload():
     """Quick-profile workload: trained pipeline + 2-window stream."""
-    pipeline, calibrator, stream, _cal, _windows = build_workload(
+    pipeline, calibrator, stream, _cal, _windows, _dataset = build_workload(
         quick=True, seed=11
     )
     return pipeline, calibrator, stream
