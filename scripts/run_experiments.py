@@ -1,85 +1,109 @@
-"""Run every paper experiment and write EXPERIMENTS.md.
+"""Run paper experiments and regenerate EXPERIMENTS.md.
 
 Usage::
 
-    python scripts/run_experiments.py [--full] [--only fig09,fig10] [--seed 0]
+    python scripts/run_experiments.py [--full] [--only fig09,fig10]
+                                      [--seed 0] [--workers 4] [--force]
 
-Results are appended to EXPERIMENTS.md incrementally, so a partial run
-still leaves a usable record.  Generated corpora are cached on disk
-(``.repro_cache/``) and reused by the pytest benchmark suite.
+Thin CLI over :mod:`repro.experiments`: each requested cell is an
+``ExperimentSpec`` keyed by (experiment, mode, seed), executed through
+``run_batch`` (optionally across parallel worker processes) and
+published atomically to the durable results store
+(``.repro_cache/experiments/``, one JSON record per cell).  Reruns
+skip cells the store already holds — a ``--full`` or different
+``--seed`` rerun is a *different* cell and executes — and ``--force``
+re-runs cells on purpose.  EXPERIMENTS.md is rewritten (atomically)
+from the store after every completed cell, so a partial run still
+leaves a usable, correctly-labeled record.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import time
 from pathlib import Path
 
-from repro.eval import ALL_EXPERIMENTS
+from repro.experiments import (
+    ExperimentBatchError,
+    ResultsStore,
+    default_registry,
+    make_spec,
+    run_batch,
+    write_experiments_md,
+)
 
 REPO = Path(__file__).resolve().parents[1]
 
-HEADER = """# EXPERIMENTS — paper vs measured
 
-Reproduction record for Fan et al., *Multiple Object Activity
-Identification using RFIDs* (ICDCS 2018).  Every entry regenerates one
-paper table/figure on the simulated substrate (see DESIGN.md for the
-substitutions).  Absolute accuracies are not expected to match the
-hardware testbed; the *shape* of each result is what is verified.
-Paper values marked `~` are read off a bar chart, not stated in text.
+def parse_args(
+    argv: list[str] | None = None, registry: dict | None = None
+) -> argparse.Namespace:
+    """Parse the CLI, validating ``--only`` ids upfront.
 
-Regenerate with `python scripts/run_experiments.py` (quick mode) or
-`pytest benchmarks/ --benchmark-only`.  Each block's footer records how
-it was produced: dedicated script runs use the full quick-mode training
-budget; blocks tagged "recorded by the benchmark suite" come from the
-trimmed-budget benchmark pass and are correspondingly noisier.  Small
-held-out splits (12-48 samples) give the accuracies a granularity of
-several points; treat trends, not single cells, as the signal.
-
-"""
-
-
-def main() -> None:
+    An unknown id exits with the list of valid ids instead of dying in
+    a mid-run ``KeyError`` after hours of completed experiments.
+    """
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="paper-scale datasets")
     parser.add_argument("--only", type=str, default="", help="comma-separated ids")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel worker processes (1 = inline)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-run cells already in the results store")
     parser.add_argument("--out", type=str, default=str(REPO / "EXPERIMENTS.md"))
-    args = parser.parse_args()
+    parser.add_argument("--store", type=str,
+                        default=str(REPO / ".repro_cache" / "experiments"),
+                        help="durable results store directory")
+    args = parser.parse_args(argv)
 
-    wanted = [x for x in args.only.split(",") if x] or list(ALL_EXPERIMENTS)
-    results: dict[str, str] = {}
-    state_path = REPO / ".repro_cache" / "experiment_state.json"
-    if state_path.exists():
-        results = json.loads(state_path.read_text())
+    if registry is None:
+        registry = default_registry()
+    wanted = [x for x in args.only.split(",") if x] or list(registry)
+    unknown = [exp_id for exp_id in wanted if exp_id not in registry]
+    if unknown:
+        parser.error(
+            f"unknown experiment id(s): {', '.join(unknown)}\n"
+            f"valid ids: {', '.join(sorted(registry))}"
+        )
+    args.wanted = wanted
+    return args
 
-    for exp_id in wanted:
-        if exp_id in results:
-            print(f"[skip] {exp_id} (already recorded)")
-            continue
-        runner = ALL_EXPERIMENTS[exp_id]
-        print(f"[run ] {exp_id} ...", flush=True)
-        t0 = time.monotonic()
-        result = runner(quick=not args.full, seed=args.seed)
-        elapsed = time.monotonic() - t0
-        block = result.render() + f"\n\n(wall-clock: {elapsed:.0f} s, " \
-            f"mode: {'full' if args.full else 'quick'}, seed: {args.seed})\n"
-        results[exp_id] = block
-        print(block, flush=True)
-        state_path.parent.mkdir(exist_ok=True)
-        state_path.write_text(json.dumps(results))
-        _write(Path(args.out), results)
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested cells and regenerate EXPERIMENTS.md."""
+    registry = default_registry()
+    args = parse_args(argv, registry)
+    mode = "full" if args.full else "quick"
+    store = ResultsStore(args.store)
+    specs = [make_spec(exp_id, mode, args.seed) for exp_id in args.wanted]
+    out = Path(args.out)
+
+    def on_event(kind, spec, detail):
+        tag = {"skip": "skip", "start": "run ", "done": "done", "failed": "FAIL"}
+        note = f" ({detail})" if detail else ""
+        print(f"[{tag[kind]}] {spec.exp_id} [{spec.mode}, seed {spec.seed}]{note}",
+              flush=True)
+        if kind == "done":
+            # Incremental rewrite: a partial run leaves a usable record.
+            write_experiments_md(out, store)
+
+    try:
+        run_batch(
+            specs,
+            store,
+            workers=args.workers,
+            force=args.force,
+            registry=registry,
+            on_event=on_event,
+        )
+    except ExperimentBatchError as exc:
+        write_experiments_md(out, store)
+        print(f"FAILED: {exc}")
+        return 1
+    write_experiments_md(out, store)
     print("done.")
-
-
-def _write(out: Path, results: dict[str, str]) -> None:
-    parts = [HEADER]
-    for exp_id in ALL_EXPERIMENTS:
-        if exp_id in results:
-            parts.append("```text\n" + results[exp_id] + "```\n")
-    out.write_text("\n".join(parts))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -79,7 +79,19 @@ class ExperimentResult:
 
 
 def bar_chart(values: dict[str, float], width: int = 40, vmax: float = 1.0) -> str:
-    """A quick ASCII bar chart (used by the examples)."""
+    """A quick ASCII bar chart (used by the examples).
+
+    An empty mapping renders as ``"(no data)"`` instead of dying in
+    ``max()``.
+
+    Raises:
+        ValueError: ``vmax`` is not positive (it is the divisor every
+            bar is scaled by).
+    """
+    if vmax <= 0:
+        raise ValueError(f"vmax must be positive, got {vmax}")
+    if not values:
+        return "(no data)"
     name_w = max(len(k) for k in values)
     lines = []
     for name, value in values.items():

@@ -1,0 +1,119 @@
+"""Aggregation over sweep records: seed-averaged rows and tables.
+
+The drivers report one measured value per row; a sweep runs the same
+cell across seeds.  :func:`aggregate_records` collapses the seed axis
+into mean/std/min/max per ``(exp_id, mode, row name)`` so benches and
+EXPERIMENTS.md summaries report trend statistics instead of a single
+seed's roll of the dice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.spec import ResultRecord
+
+__all__ = [
+    "AggregateRow",
+    "aggregate_records",
+    "render_aggregate_table",
+]
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Seed-collapsed statistics for one reported quantity.
+
+    Attributes:
+        exp_id: experiment the row came from.
+        mode: ``"quick"`` or ``"full"``.
+        name: the row's label in the driver output.
+        unit: the row's display unit.
+        mean: mean of the measured value across seeds.
+        std: population standard deviation across seeds.
+        low: minimum across seeds.
+        high: maximum across seeds.
+        seeds: the seeds aggregated, sorted.
+    """
+
+    exp_id: str
+    mode: str
+    name: str
+    unit: str
+    mean: float
+    std: float
+    low: float
+    high: float
+    seeds: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of seeds aggregated."""
+        return len(self.seeds)
+
+
+def aggregate_records(records: list[ResultRecord]) -> list[AggregateRow]:
+    """Collapse the seed axis of a record set.
+
+    Records are grouped by ``(exp_id, mode, gen/train overrides, row
+    name, unit)`` — two cells that differ only in seed aggregate
+    together; anything else stays separate.  Output order follows
+    first appearance in ``records``.
+    """
+    groups: dict[tuple, list[tuple[int, float]]] = {}
+    order: list[tuple] = []
+    for record in records:
+        spec = record.spec
+        for row in record.rows:
+            group = (
+                spec.exp_id,
+                spec.mode,
+                spec.gen_overrides,
+                spec.train_overrides,
+                row["name"],
+                row.get("unit", "acc"),
+            )
+            if group not in groups:
+                groups[group] = []
+                order.append(group)
+            groups[group].append((spec.seed, float(row["measured"])))
+    out = []
+    for group in order:
+        exp_id, mode, _gen, _train, name, unit = group
+        pairs = sorted(groups[group])
+        values = [v for _seed, v in pairs]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        out.append(
+            AggregateRow(
+                exp_id=exp_id,
+                mode=mode,
+                name=name,
+                unit=unit,
+                mean=mean,
+                std=math.sqrt(var),
+                low=min(values),
+                high=max(values),
+                seeds=tuple(seed for seed, _v in pairs),
+            )
+        )
+    return out
+
+
+def render_aggregate_table(rows: list[AggregateRow]) -> str:
+    """Plain-text seed-statistics table for a set of aggregate rows."""
+    if not rows:
+        return "(no data)"
+    name_w = max([len(r.name) for r in rows] + [8])
+    header = (
+        f"{'setting':<{name_w}}  {'mean':>8}  {'std':>7}  "
+        f"{'min':>7}  {'max':>7}  seeds"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<{name_w}}  {row.mean:8.3f}  {row.std:7.3f}  "
+            f"{row.low:7.3f}  {row.high:7.3f}  n={row.n} {row.unit}"
+        )
+    return "\n".join(lines)

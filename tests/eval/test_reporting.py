@@ -46,3 +46,16 @@ class TestBarChart:
     def test_clamps_out_of_range(self):
         chart = bar_chart({"x": 2.0}, width=10)
         assert chart.count("#") == 10
+
+    def test_empty_dict_renders_placeholder(self):
+        """Regression: used to die in max() on an empty mapping."""
+        assert bar_chart({}) == "(no data)"
+
+    def test_non_positive_vmax_rejected(self):
+        """Regression: vmax=0 used to raise ZeroDivisionError."""
+        import pytest
+
+        with pytest.raises(ValueError, match="vmax"):
+            bar_chart({"x": 0.5}, vmax=0.0)
+        with pytest.raises(ValueError, match="vmax"):
+            bar_chart({"x": 0.5}, vmax=-1.0)

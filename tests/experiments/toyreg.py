@@ -1,0 +1,76 @@
+"""Importable toy experiment registry for run_batch worker tests.
+
+Spawned workers resolve their registry by dotted path, so the fake
+drivers must live in a real module (a closure cannot cross a spawn
+boundary).  The result type is duck-typed on purpose: it keeps worker
+start-up free of the heavy ``repro.eval`` import chain.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ToyRow:
+    """Minimal stand-in for ExperimentRow (asdict-compatible)."""
+
+    name: str
+    paper: "float | None"
+    measured: float
+    unit: str = "acc"
+    approx: bool = False
+
+
+@dataclass
+class ToyResult:
+    """Minimal stand-in for ExperimentResult."""
+
+    experiment_id: str
+    title: str
+    rows: list
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Deterministic text block."""
+        body = "\n".join(f"{r.name}: {r.measured:.6f}" for r in self.rows)
+        return f"== {self.experiment_id}: {self.title} ==\n{body}"
+
+
+def run_toy(quick: bool = True, seed: int = 0, scale: float = 1.0) -> ToyResult:
+    """Deterministic toy driver: measured value is a function of args."""
+    value = (seed * 10 + (1 if quick else 2)) * scale
+    return ToyResult(
+        experiment_id="toy",
+        title="toy experiment",
+        rows=[ToyRow("value", None, float(value))],
+        notes=f"quick={quick} seed={seed}",
+    )
+
+
+def run_crash(quick: bool = True, seed: int = 0) -> ToyResult:
+    """Driver that always raises (worker failure attribution tests)."""
+    raise RuntimeError("injected driver failure")
+
+
+def run_die(quick: bool = True, seed: int = 0) -> ToyResult:
+    """Driver that hard-kills its process for odd seeds.
+
+    ``os._exit`` skips all Python cleanup — the closest simulation of
+    a SIGKILL mid-sweep that still works under pytest.
+    """
+    if seed % 2 == 1:
+        os._exit(41)
+    return run_toy(quick=quick, seed=seed)
+
+
+def factory() -> dict:
+    """Registry factory resolved by the spawned workers."""
+    return {"toy": run_toy, "crash": run_crash, "die": run_die}
+
+
+def good_factory() -> dict:
+    """Registry where the 'die' id no longer dies (resume-after-kill)."""
+    return {"toy": run_toy, "crash": run_crash, "die": run_toy}

@@ -6,6 +6,8 @@ import importlib.util
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO = Path(__file__).resolve().parents[1]
 
 
@@ -25,33 +27,55 @@ def load_runner():
 
 
 class TestRunnerScript:
-    def test_write_orders_by_registry(self, tmp_path):
+    def test_unknown_only_id_exits_with_valid_ids(self, capsys):
         runner = load_runner()
-        out = tmp_path / "EXPERIMENTS.md"
-        runner._write(
-            out,
-            {
-                "fig09": "== fig09 block ==\n",
-                "fig02": "== fig02 block ==\n",
-            },
-        )
-        text = out.read_text()
-        assert text.index("fig02 block") < text.index("fig09 block")
-        assert "paper vs measured" in text
+        with pytest.raises(SystemExit) as exc:
+            runner.parse_args(["--only", "bogus"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "fig09" in err  # the valid ids are listed, not a KeyError
 
-    def test_write_skips_missing(self, tmp_path):
+    def test_only_filters_and_full_selects_mode(self):
         runner = load_runner()
-        out = tmp_path / "EXPERIMENTS.md"
-        runner._write(out, {"fig03": "== fig03 block ==\n"})
-        text = out.read_text()
-        assert "fig03 block" in text
-        assert "fig09" not in text.replace("fig09/", "")
+        args = runner.parse_args(["--only", "fig09,fig02", "--full", "--seed", "3"])
+        assert args.wanted == ["fig09", "fig02"]
+        assert args.full and args.seed == 3
 
-    def test_header_mentions_regeneration(self, tmp_path):
+    def test_defaults_cover_whole_registry(self):
+        from repro.experiments import default_registry
+
         runner = load_runner()
+        args = runner.parse_args([])
+        assert args.wanted == list(default_registry())
+        assert args.workers == 1
+        assert not args.force
+
+    def test_header_mentions_regeneration(self):
+        from repro.experiments import EXPERIMENTS_HEADER
+
+        assert "run_experiments.py" in EXPERIMENTS_HEADER
+        assert "paper vs measured" in EXPERIMENTS_HEADER
+
+    def test_main_runs_a_toy_registry_end_to_end(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from tests.experiments.toyreg import factory
+
+        runner = load_runner()
+        monkeypatch.setattr(runner, "default_registry", factory)
         out = tmp_path / "EXPERIMENTS.md"
-        runner._write(out, {})
-        assert "run_experiments.py" in out.read_text()
+        store = tmp_path / "store"
+        argv = ["--only", "toy", "--out", str(out), "--store", str(store)]
+
+        assert runner.main(argv) == 0
+        text = out.read_text()
+        assert "toy experiment" in text
+        assert "mode: quick, seed: 0" in text
+
+        # Second run serves the cell from the durable store.
+        assert runner.main(argv) == 0
+        assert "[skip]" in capsys.readouterr().out
 
 
 class TestApiDocsGenerator:
